@@ -1,0 +1,16 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §3 for the index); this library holds
+//! the shared experiment runners so binaries, integration tests, and
+//! Criterion benches use identical configurations.
+//!
+//! Results print as aligned text tables and are also written as CSV into
+//! `results/` (mirroring the artifact's CSV logs in
+//! `deploy/hephaestus/logs/`).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::{write_csv, TextTable};

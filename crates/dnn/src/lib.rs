@@ -1,0 +1,41 @@
+//! DNN inference for the RoSÉ reproduction — the ONNX-Runtime substitute.
+//!
+//! The paper's companion computer runs DNN-based end-to-end controllers
+//! (TrailNet-style dual-headed ResNets, Section 4.2.2) through ONNX-Runtime,
+//! with matmuls/convolutions dispatched to Gemmini. This crate provides:
+//!
+//! * [`tensor`] — a small NCHW `f32` tensor type.
+//! * [`ops`] — real functional operators: conv2d, batch-norm (inference
+//!   form), ReLU, pooling, linear, softmax, residual add.
+//! * [`graph`] — a DAG network representation with two classifier heads
+//!   (angular and lateral, Figure 8) and a forward pass.
+//! * [`resnet`] — builders for the evaluated ResNet6/11/14/18/34 variants,
+//!   both as shape-only [`resnet::InferencePlan`]s (for SoC timing) and as
+//!   weighted [`graph::Network`]s (for functional inference).
+//! * [`lower`] — lowering of a plan to [`rose_socsim::TargetOp`] sequences:
+//!   convolutions map to the accelerator (or to im2col + matmul CPU kernels
+//!   on accelerator-less SoCs), everything else to CPU kernels, plus
+//!   ONNX-Runtime-style per-node and per-session framework overhead.
+//! * [`perception`] — the calibrated perception head used by the
+//!   closed-loop evaluations (see DESIGN.md §1 for the substitution
+//!   rationale): classification correctness follows each model's
+//!   validation accuracy (Table 3), and softmax confidence grows with
+//!   model capacity — reproducing the paper's observation that
+//!   higher-capacity DNNs make more confident predictions and hence
+//!   sharper trajectory corrections (Section 5.2).
+
+#![deny(missing_docs)]
+
+pub mod graph;
+pub mod lower;
+pub mod ops;
+pub mod perception;
+pub mod resnet;
+pub mod tensor;
+pub mod trainer;
+
+pub use graph::Network;
+pub use perception::{ClassProbs, PerceptionHead, PerceptionOutput};
+pub use resnet::{DnnModel, InferencePlan};
+pub use tensor::Tensor;
+pub use trainer::{Example, HeadTrainer, TrainConfig};

@@ -1,0 +1,279 @@
+//! Functional neural-network operators (NCHW, `f32`).
+//!
+//! These are the reference implementations executed on the host for
+//! functional results; their *timing* on the simulated SoC comes from the
+//! lowering in [`crate::lower`].
+
+use crate::tensor::Tensor;
+
+/// 2-D convolution with square kernels and symmetric zero padding.
+///
+/// `input` is (C_in, H, W); `weight` is (C_out, C_in, K, K); `bias` is
+/// (C_out) if present. Output is (C_out, H_out, W_out) with
+/// `H_out = (H + 2*pad - K) / stride + 1`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or a zero-sized output.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(input.shape().len(), 3, "conv2d input must be (C,H,W)");
+    assert_eq!(weight.shape().len(), 4, "conv2d weight must be (O,I,K,K)");
+    let (c_in, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (c_out, w_in, k, k2) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(k, k2, "kernel must be square");
+    assert_eq!(c_in, w_in, "channel mismatch: input {c_in}, weight {w_in}");
+    assert!(stride > 0, "stride must be positive");
+    assert!(h + 2 * pad >= k && w + 2 * pad >= k, "kernel larger than input");
+    let h_out = (h + 2 * pad - k) / stride + 1;
+    let w_out = (w + 2 * pad - k) / stride + 1;
+
+    let mut out = Tensor::zeros(&[c_out, h_out, w_out]);
+    let idata = input.data();
+    let wdata = weight.data();
+    for oc in 0..c_out {
+        let b = bias.map_or(0.0, |bt| bt.data()[oc]);
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut acc = b;
+                for ic in 0..c_in {
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let iv = idata[(ic * h + iy as usize) * w + ix as usize];
+                            let wv = wdata[((oc * c_in + ic) * k + ky) * k + kx];
+                            acc += iv * wv;
+                        }
+                    }
+                }
+                out.set3(oc, oy, ox, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Inference-form batch normalization: `y = x * scale[c] + shift[c]`.
+///
+/// # Panics
+///
+/// Panics if the parameter length does not match the channel count.
+pub fn batchnorm(input: &Tensor, scale: &Tensor, shift: &Tensor) -> Tensor {
+    let c = input.shape()[0];
+    assert_eq!(scale.len(), c, "scale length");
+    assert_eq!(shift.len(), c, "shift length");
+    let plane = input.len() / c;
+    let mut out = input.clone();
+    for ch in 0..c {
+        let (s, b) = (scale.data()[ch], shift.data()[ch]);
+        for v in &mut out.data_mut()[ch * plane..(ch + 1) * plane] {
+            *v = *v * s + b;
+        }
+    }
+    out
+}
+
+/// Elementwise `max(0, x)`.
+pub fn relu(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    for v in out.data_mut() {
+        *v = v.max(0.0);
+    }
+    out
+}
+
+/// Elementwise addition (residual connection).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let mut out = a.clone();
+    for (o, &x) in out.data_mut().iter_mut().zip(b.data()) {
+        *o += x;
+    }
+    out
+}
+
+/// 2-D max pooling with a square window (stride = window).
+///
+/// # Panics
+///
+/// Panics if the input is not 3-D.
+pub fn maxpool(input: &Tensor, window: usize) -> Tensor {
+    assert_eq!(input.shape().len(), 3, "maxpool input must be (C,H,W)");
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (h_out, w_out) = (h / window, w / window);
+    assert!(h_out > 0 && w_out > 0, "window larger than input");
+    let mut out = Tensor::zeros(&[c, h_out, w_out]);
+    for ch in 0..c {
+        for oy in 0..h_out {
+            for ox in 0..w_out {
+                let mut m = f32::NEG_INFINITY;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        m = m.max(input.at3(ch, oy * window + ky, ox * window + kx));
+                    }
+                }
+                out.set3(ch, oy, ox, m);
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: (C, H, W) → (C).
+pub fn global_avgpool(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().len(), 3, "gap input must be (C,H,W)");
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let plane = (h * w) as f32;
+    Tensor::from_fn(&[c], |ch| {
+        input.data()[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() / plane
+    })
+}
+
+/// Fully-connected layer: `y = W x + b` with `W` of shape (out, in).
+///
+/// # Panics
+///
+/// Panics on dimension mismatches.
+pub fn linear(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+    assert_eq!(weight.shape().len(), 2, "linear weight must be (O,I)");
+    let (o, i) = (weight.shape()[0], weight.shape()[1]);
+    assert_eq!(input.len(), i, "linear input length");
+    assert_eq!(bias.len(), o, "linear bias length");
+    Tensor::from_fn(&[o], |row| {
+        let mut acc = bias.data()[row];
+        for (x, wv) in input.data().iter().zip(&weight.data()[row * i..(row + 1) * i]) {
+            acc += x * wv;
+        }
+        acc
+    })
+}
+
+/// Numerically-stable softmax over a 1-D tensor.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let max = input.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = input.data().iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(&[input.len()], exps.into_iter().map(|e| e / sum).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1.0 reproduces the input.
+        let input = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+        let weight = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let out = conv2d(&input, &weight, None, 1, 0);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_hand_computed() {
+        // 2x2 input, 2x2 kernel, no pad: single output = dot product.
+        let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let weight = Tensor::from_vec(&[1, 1, 2, 2], vec![0.5, -1.0, 2.0, 0.0]);
+        let out = conv2d(&input, &weight, None, 1, 0);
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert!(approx(out.data()[0], 1.0 * 0.5 - 2.0 + 6.0));
+    }
+
+    #[test]
+    fn conv2d_padding_and_stride() {
+        let input = Tensor::from_fn(&[1, 4, 4], |_| 1.0);
+        let weight = Tensor::from_fn(&[1, 1, 3, 3], |_| 1.0);
+        // Same padding, stride 2: output 2x2; corners see 4 valid taps.
+        let out = conv2d(&input, &weight, None, 2, 1);
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert!(approx(out.at3(0, 0, 0), 4.0));
+        assert!(approx(out.at3(0, 1, 1), 9.0));
+    }
+
+    #[test]
+    fn conv2d_bias_applied_per_channel() {
+        let input = Tensor::zeros(&[1, 2, 2]);
+        let weight = Tensor::zeros(&[2, 1, 1, 1]);
+        let bias = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let out = conv2d(&input, &weight, Some(&bias), 1, 0);
+        assert!(approx(out.at3(0, 0, 0), 0.5));
+        assert!(approx(out.at3(1, 1, 1), -0.5));
+    }
+
+    #[test]
+    fn batchnorm_scale_shift() {
+        let input = Tensor::from_vec(&[2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let scale = Tensor::from_vec(&[2], vec![2.0, 0.5]);
+        let shift = Tensor::from_vec(&[2], vec![1.0, 0.0]);
+        let out = batchnorm(&input, &scale, &shift);
+        assert_eq!(out.data(), &[3.0, 5.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let t = Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_add() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        assert_eq!(add(&a, &b).data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn maxpool_2x2() {
+        let input = Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, -1.0, 9.0]);
+        let out = maxpool(&input, 2);
+        assert_eq!(out.shape(), &[1, 1, 2]);
+        assert_eq!(out.data(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn global_avgpool_means() {
+        let input = Tensor::from_vec(&[2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let out = global_avgpool(&input);
+        assert_eq!(out.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn linear_matvec() {
+        let x = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+        let w = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        assert_eq!(linear(&x, &w, &b).data(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let t = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let s = softmax(&t);
+        let sum: f32 = s.data().iter().sum();
+        assert!(approx(sum, 1.0));
+        assert!(s.data()[2] > s.data()[1] && s.data()[1] > s.data()[0]);
+        // Stability under large inputs.
+        let big = Tensor::from_vec(&[2], vec![1000.0, 1000.0]);
+        let s = softmax(&big);
+        assert!(approx(s.data()[0], 0.5));
+    }
+}

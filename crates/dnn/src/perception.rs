@@ -1,0 +1,313 @@
+//! The calibrated perception head used by closed-loop evaluations.
+//!
+//! The paper trains its classifiers on 12,000 rendered images; training
+//! deep networks inside the benchmark harness is infeasible, so closed-loop
+//! flights use this calibrated substitute (see DESIGN.md §1): the true
+//! angular/lateral class is computed from ground truth, the predicted class
+//! follows the model's validation accuracy (Table 3), and softmax
+//! confidence grows with model capacity — reproducing both failure modes
+//! discussed in Section 5.2 (small models: wrong and timid predictions →
+//! wide turns and collisions; big models: overconfident predictions →
+//! sharp corrections), while inference *latency* is always measured on the
+//! cycle-level SoC model.
+
+use crate::resnet::DnnModel;
+use rose_sim_core::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The three view classes of each head (Figure 8), drone-centric:
+/// `Left` means the UAV is rotated/offset to the left of the trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewClass {
+    /// UAV left of / rotated left of the trail.
+    Left,
+    /// On the trail.
+    Center,
+    /// UAV right of / rotated right of the trail.
+    Right,
+}
+
+impl ViewClass {
+    fn index(self) -> usize {
+        match self {
+            ViewClass::Left => 0,
+            ViewClass::Center => 1,
+            ViewClass::Right => 2,
+        }
+    }
+}
+
+/// Softmax probabilities over `[left, center, right]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassProbs(pub [f64; 3]);
+
+impl ClassProbs {
+    /// Probability of the `Left` class.
+    pub fn left(&self) -> f64 {
+        self.0[0]
+    }
+
+    /// Probability of the `Center` class.
+    pub fn center(&self) -> f64 {
+        self.0[1]
+    }
+
+    /// Probability of the `Right` class.
+    pub fn right(&self) -> f64 {
+        self.0[2]
+    }
+
+    /// The argmax class.
+    pub fn argmax(&self) -> ViewClass {
+        let mut best = 0;
+        for i in 1..3 {
+            if self.0[i] > self.0[best] {
+                best = i;
+            }
+        }
+        [ViewClass::Left, ViewClass::Center, ViewClass::Right][best]
+    }
+
+    /// Collapses to a one-hot distribution on the argmax (the argmax
+    /// policy used with ResNet6 in the dynamic runtime, Section 5.3).
+    pub fn one_hot(&self) -> ClassProbs {
+        let mut p = [0.0; 3];
+        p[self.argmax().index()] = 1.0;
+        ClassProbs(p)
+    }
+}
+
+/// Output of one inference: both heads' distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionOutput {
+    /// Angular head (view angle relative to the trail).
+    pub angular: ClassProbs,
+    /// Lateral head (offset relative to the trail).
+    pub lateral: ClassProbs,
+}
+
+/// The calibrated dual-head classifier for one [`DnnModel`].
+#[derive(Debug, Clone)]
+pub struct PerceptionHead {
+    model: DnnModel,
+    rng: SimRng,
+    /// Heading error magnitude (rad) at which the view leaves `Center`.
+    pub angular_threshold: f64,
+    /// Lateral offset (fraction of corridor half-width) at which the view
+    /// leaves `Center`.
+    pub lateral_threshold: f64,
+}
+
+impl PerceptionHead {
+    /// Creates a head for `model` with its own noise stream.
+    pub fn new(model: DnnModel, rng: &SimRng) -> PerceptionHead {
+        PerceptionHead {
+            model,
+            rng: rng.split("perception"),
+            angular_threshold: 0.12,
+            lateral_threshold: 0.30,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> DnnModel {
+        self.model
+    }
+
+    /// Classifies a ground-truth pose error.
+    ///
+    /// * `heading_error` — radians, positive = UAV points left of trail.
+    /// * `lateral_offset` — meters, positive = UAV left of trail.
+    /// * `half_width` — local corridor half-width (normalizes the offset).
+    pub fn classify(
+        &mut self,
+        heading_error: f64,
+        lateral_offset: f64,
+        half_width: f64,
+    ) -> PerceptionOutput {
+        let ang_true = Self::bucket(heading_error / self.angular_threshold);
+        let lat_true = Self::bucket(lateral_offset / (half_width * self.lateral_threshold));
+        // Margin: how deep into the class the sample is (0 at a boundary,
+        // 1 well inside). Deeper samples are classified more reliably and
+        // more confidently.
+        let ang_margin = Self::margin(heading_error / self.angular_threshold);
+        let lat_margin = Self::margin(lateral_offset / (half_width * self.lateral_threshold));
+        PerceptionOutput {
+            angular: self.head(ang_true, ang_margin),
+            lateral: self.head(lat_true, lat_margin),
+        }
+    }
+
+    /// Maps a normalized error to its true class (±1 boundaries).
+    fn bucket(normalized: f64) -> ViewClass {
+        if normalized > 1.0 {
+            ViewClass::Left
+        } else if normalized < -1.0 {
+            ViewClass::Right
+        } else {
+            ViewClass::Center
+        }
+    }
+
+    /// Distance from the nearest class boundary, saturating at 1.
+    fn margin(normalized: f64) -> f64 {
+        (normalized.abs() - 1.0).abs().min(1.0)
+    }
+
+    fn head(&mut self, truth: ViewClass, margin: f64) -> ClassProbs {
+        // Effective accuracy: validation accuracy, degraded near class
+        // boundaries (ambiguous views) and slightly improved deep inside.
+        let base = self.model.validation_accuracy();
+        let acc = (base - 0.25 * (1.0 - margin)).clamp(0.34, 0.99);
+        let predicted = if self.rng.chance(acc) {
+            truth
+        } else {
+            // Confusions are mostly with the adjacent class: a side view is
+            // rarely mistaken for the opposite side.
+            match truth {
+                ViewClass::Center => {
+                    if self.rng.chance(0.5) {
+                        ViewClass::Left
+                    } else {
+                        ViewClass::Right
+                    }
+                }
+                side => {
+                    if self.rng.chance(0.85) {
+                        ViewClass::Center
+                    } else {
+                        side
+                    }
+                }
+            }
+        };
+        // Confidence: model capacity scaled by margin (Section 5.2 — large
+        // nets produce higher-confidence softmax outputs).
+        let conf = (self.model.confidence() * (0.55 + 0.45 * margin)).clamp(0.34, 0.97);
+        let mut probs = [0.0; 3];
+        let rest = 1.0 - conf;
+        match predicted {
+            ViewClass::Center => {
+                probs[1] = conf;
+                probs[0] = rest * 0.5;
+                probs[2] = rest * 0.5;
+            }
+            ViewClass::Left => {
+                probs[0] = conf;
+                probs[1] = rest * 0.8;
+                probs[2] = rest * 0.2;
+            }
+            ViewClass::Right => {
+                probs[2] = conf;
+                probs[1] = rest * 0.8;
+                probs[0] = rest * 0.2;
+            }
+        }
+        ClassProbs(probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(model: DnnModel) -> PerceptionHead {
+        PerceptionHead::new(model, &SimRng::new(99))
+    }
+
+    #[test]
+    fn clear_views_classify_at_validation_accuracy() {
+        let mut h = head(DnnModel::ResNet14);
+        let n = 20_000;
+        let correct = (0..n)
+            .filter(|_| {
+                // Deep inside the Left class (pointing far left).
+                let out = h.classify(0.3, 0.0, 1.6);
+                out.angular.argmax() == ViewClass::Left
+            })
+            .count();
+        let acc = correct as f64 / n as f64;
+        let expect = DnnModel::ResNet14.validation_accuracy();
+        assert!(
+            (acc - expect).abs() < 0.04,
+            "empirical {acc} vs validation {expect}"
+        );
+    }
+
+    #[test]
+    fn boundary_views_are_less_reliable() {
+        let mut h = head(DnnModel::ResNet34);
+        let n = 10_000;
+        let acc_of = |h: &mut PerceptionHead, err: f64| {
+            (0..n)
+                .filter(|_| h.classify(err, 0.0, 1.6).angular.argmax() == ViewClass::Left)
+                .count() as f64
+                / n as f64
+        };
+        let deep = acc_of(&mut h, 0.3);
+        let shallow = acc_of(&mut h, 0.125); // just past the threshold
+        assert!(deep > shallow + 0.1, "deep {deep} vs shallow {shallow}");
+    }
+
+    #[test]
+    fn bigger_models_are_more_confident() {
+        let mut small = head(DnnModel::ResNet6);
+        let mut big = head(DnnModel::ResNet34);
+        let mut conf_small = 0.0;
+        let mut conf_big = 0.0;
+        let n = 2000;
+        for _ in 0..n {
+            conf_small += small.classify(0.3, 0.0, 1.6).angular.left();
+            conf_big += big.classify(0.3, 0.0, 1.6).angular.left();
+        }
+        assert!(
+            conf_big / n as f64 > conf_small / n as f64 + 0.15,
+            "big {} vs small {}",
+            conf_big / n as f64,
+            conf_small / n as f64
+        );
+    }
+
+    #[test]
+    fn signs_are_drone_centric() {
+        let mut h = head(DnnModel::ResNet34);
+        // Average over noise: pointing left -> Left dominates.
+        let mut left = 0.0;
+        let mut right = 0.0;
+        for _ in 0..500 {
+            let out = h.classify(0.4, 0.0, 1.6);
+            left += out.angular.left();
+            right += out.angular.right();
+        }
+        assert!(left > right, "pointing left should read Left");
+        // Offset right -> lateral Right dominates.
+        let mut l = 0.0;
+        let mut r = 0.0;
+        for _ in 0..500 {
+            let out = h.classify(0.0, -1.2, 1.6);
+            l += out.lateral.left();
+            r += out.lateral.right();
+        }
+        assert!(r > l, "offset right should read Right");
+    }
+
+    #[test]
+    fn one_hot_collapse() {
+        let p = ClassProbs([0.1, 0.2, 0.7]);
+        assert_eq!(p.argmax(), ViewClass::Right);
+        assert_eq!(p.one_hot().0, [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn probabilities_always_normalized() {
+        let mut h = head(DnnModel::ResNet6);
+        for i in 0..1000 {
+            let err = (i as f64 - 500.0) / 500.0;
+            let out = h.classify(err, -err, 1.6);
+            let sa: f64 = out.angular.0.iter().sum();
+            let sl: f64 = out.lateral.0.iter().sum();
+            assert!((sa - 1.0).abs() < 1e-9);
+            assert!((sl - 1.0).abs() < 1e-9);
+        }
+    }
+}

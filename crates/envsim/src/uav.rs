@@ -1,0 +1,371 @@
+//! The frame-stepped UAV simulation.
+//!
+//! [`UavSim`] combines a [`World`], a [`QuadrotorBody`], an [`Autopilot`]
+//! (the flight controller, software-in-the-loop as in Figure 7), and the
+//! sensor models into a single simulation that advances in discrete frames.
+//! One frame = one physics + render step; physics runs at a higher substep
+//! rate internally for numerical stability.
+
+use crate::api::{Pose, SimRequest, SimResponse, VelocityTarget};
+use crate::camera::{self, CameraConfig};
+use crate::dynamics::{MotorCommand, QuadrotorBody, QuadrotorParams, RigidBodyState};
+use crate::sensors::{DepthConfig, DepthSensor, Imu, ImuConfig};
+use crate::world::{P2, World};
+use rose_sim_core::cycles::FrameSpec;
+use rose_sim_core::math::Vec3;
+use rose_sim_core::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The flight controller interface.
+///
+/// The companion computer does not directly interface with motors; it sends
+/// intermediate-level targets (velocity, yaw rate) to a flight controller
+/// which computes motor commands (Section 3.4.2). Implementations live in
+/// `rose-flightctl`.
+pub trait Autopilot {
+    /// Computes the motor command for one physics substep.
+    fn command(&mut self, state: &RigidBodyState, target: &VelocityTarget, dt: f64)
+        -> MotorCommand;
+
+    /// Resets controller state (integrators, derivative history).
+    fn reset(&mut self);
+}
+
+/// Configuration for a [`UavSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UavSimConfig {
+    /// Environment frame rate (physics + render step rate).
+    pub frames: FrameSpec,
+    /// Physics substeps per frame.
+    pub substeps: u32,
+    /// Quadrotor physical parameters.
+    pub quad: QuadrotorParams,
+    /// Camera intrinsics.
+    pub camera: CameraConfig,
+    /// IMU noise model.
+    pub imu: ImuConfig,
+    /// Depth sensor model.
+    pub depth: DepthConfig,
+    /// Initial position.
+    pub start_position: Vec3,
+    /// Initial heading (radians).
+    pub start_yaw: f64,
+}
+
+impl Default for UavSimConfig {
+    fn default() -> UavSimConfig {
+        UavSimConfig {
+            frames: FrameSpec::default(),
+            substeps: 8,
+            quad: QuadrotorParams::default(),
+            camera: CameraConfig::default(),
+            imu: ImuConfig::default(),
+            depth: DepthConfig::default(),
+            start_position: Vec3::new(0.0, 0.0, 1.5),
+            start_yaw: 0.0,
+        }
+    }
+}
+
+/// One trajectory log record (one per frame).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Simulated time in seconds.
+    pub t: f64,
+    /// World position.
+    pub position: Vec3,
+    /// World velocity.
+    pub velocity: Vec3,
+    /// Heading in radians.
+    pub yaw: f64,
+    /// True if the UAV was in wall contact this frame.
+    pub in_collision: bool,
+}
+
+/// The frame-stepped UAV environment simulation.
+pub struct UavSim {
+    config: UavSimConfig,
+    world: World,
+    body: QuadrotorBody,
+    autopilot: Box<dyn Autopilot + Send>,
+    imu: Imu,
+    depth: DepthSensor,
+    target: VelocityTarget,
+    frame: u64,
+    collision_count: u32,
+    in_collision: bool,
+    trajectory: Vec<TrajectoryPoint>,
+}
+
+impl std::fmt::Debug for UavSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UavSim")
+            .field("world", &self.world.kind())
+            .field("frame", &self.frame)
+            .field("position", &self.body.state().position)
+            .field("collisions", &self.collision_count)
+            .finish()
+    }
+}
+
+impl UavSim {
+    /// Creates a simulation with the UAV at the configured start pose.
+    pub fn new(
+        config: UavSimConfig,
+        world: World,
+        autopilot: Box<dyn Autopilot + Send>,
+        rng: &SimRng,
+    ) -> UavSim {
+        let state = RigidBodyState {
+            position: config.start_position,
+            attitude: rose_sim_core::math::Quat::from_euler(0.0, 0.0, config.start_yaw),
+            ..RigidBodyState::default()
+        };
+        UavSim {
+            body: QuadrotorBody::new(config.quad, state),
+            imu: Imu::new(config.imu, rng),
+            depth: DepthSensor::new(config.depth, rng),
+            target: VelocityTarget {
+                altitude: config.start_position.z.max(1.5),
+                ..VelocityTarget::default()
+            },
+            config,
+            world,
+            autopilot,
+            frame: 0,
+            collision_count: 0,
+            in_collision: false,
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// The environment.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn time(&self) -> f64 {
+        self.frame as f64 * self.config.frames.dt()
+    }
+
+    /// Frames stepped so far.
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// The current ground-truth pose.
+    pub fn pose(&self) -> Pose {
+        let s = self.body.state();
+        Pose {
+            position: s.position,
+            velocity: s.velocity,
+            yaw: s.yaw(),
+        }
+    }
+
+    /// Total collision events so far (rising edges of wall contact).
+    pub fn collision_count(&self) -> u32 {
+        self.collision_count
+    }
+
+    /// The most recent velocity target latched by the flight controller.
+    pub fn target(&self) -> &VelocityTarget {
+        &self.target
+    }
+
+    /// The per-frame trajectory log.
+    pub fn trajectory(&self) -> &[TrajectoryPoint] {
+        &self.trajectory
+    }
+
+    /// True once the UAV has crossed the goal plane.
+    pub fn mission_complete(&self) -> bool {
+        self.world.mission_complete(self.body.state().position)
+    }
+
+    /// Handles one RPC request.
+    pub fn handle(&mut self, request: SimRequest) -> SimResponse {
+        match request {
+            SimRequest::GetImage => {
+                let s = self.body.state();
+                SimResponse::Image(camera::render(
+                    &self.world,
+                    s.position,
+                    s.yaw(),
+                    &self.config.camera,
+                ))
+            }
+            SimRequest::GetImu => SimResponse::Imu(self.imu.sample(&self.body, self.time())),
+            SimRequest::GetDepth => {
+                let s = self.body.state();
+                SimResponse::Depth(self.depth.sample(
+                    &self.world,
+                    s.position,
+                    s.yaw(),
+                    self.time(),
+                ))
+            }
+            SimRequest::GetPose => SimResponse::Pose(self.pose()),
+            SimRequest::SetVelocityTarget(t) => {
+                // The flight controller tracks the most recent target
+                // received (Section 4.2.2).
+                self.target = t;
+                SimResponse::Ack
+            }
+            SimRequest::GetCollisionCount => SimResponse::CollisionCount(self.collision_count),
+            SimRequest::Reset { position, yaw } => {
+                *self.body.state_mut() = RigidBodyState {
+                    position,
+                    attitude: rose_sim_core::math::Quat::from_euler(0.0, 0.0, yaw),
+                    ..RigidBodyState::default()
+                };
+                self.autopilot.reset();
+                self.collision_count = 0;
+                self.in_collision = false;
+                SimResponse::Ack
+            }
+        }
+    }
+
+    /// Advances the simulation by `n` frames.
+    pub fn step_frames(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_one_frame();
+        }
+    }
+
+    fn step_one_frame(&mut self) {
+        let dt = self.config.frames.dt() / self.config.substeps as f64;
+        for _ in 0..self.config.substeps {
+            let cmd = self
+                .autopilot
+                .command(self.body.state(), &self.target, dt);
+            self.body.step(cmd, dt);
+            self.resolve_collisions();
+        }
+        self.frame += 1;
+        let s = self.body.state();
+        self.trajectory.push(TrajectoryPoint {
+            t: self.time(),
+            position: s.position,
+            velocity: s.velocity,
+            yaw: s.yaw(),
+            in_collision: self.in_collision,
+        });
+    }
+
+    /// Collision handling: when the body sphere penetrates a wall it is
+    /// pushed out along the wall normal and the into-wall velocity component
+    /// is reflected with heavy damping. Collision events are counted on the
+    /// rising edge of contact.
+    fn resolve_collisions(&mut self) {
+        let radius = self.config.quad.radius;
+        let pos = self.body.state().position;
+        let colliding = self.world.collides(pos, radius);
+        if colliding {
+            let (dist, dir) = self.world.nearest_wall(P2::new(pos.x, pos.y));
+            let penetration = radius - dist;
+            if penetration > 0.0 {
+                let normal = Vec3::new(dir.x, dir.y, 0.0);
+                let state = self.body.state_mut();
+                state.position += normal * penetration;
+                let vn = state.velocity.dot(normal);
+                if vn < 0.0 {
+                    // Remove into-wall velocity, keep 20% as restitution.
+                    state.velocity -= normal * (1.2 * vn);
+                    // Scrub tangential speed a little (wall friction).
+                    state.velocity = state.velocity * 0.9;
+                }
+            }
+            if !self.in_collision {
+                self.collision_count += 1;
+            }
+        }
+        self.in_collision = colliding;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial autopilot: open-loop hover command, no target tracking.
+    struct HoverOpenLoop;
+
+    impl Autopilot for HoverOpenLoop {
+        fn command(
+            &mut self,
+            _state: &RigidBodyState,
+            _target: &VelocityTarget,
+            _dt: f64,
+        ) -> MotorCommand {
+            MotorCommand::uniform(QuadrotorParams::default().hover_command())
+        }
+
+        fn reset(&mut self) {}
+    }
+
+    fn sim() -> UavSim {
+        UavSim::new(
+            UavSimConfig::default(),
+            World::tunnel(),
+            Box::new(HoverOpenLoop),
+            &SimRng::new(11),
+        )
+    }
+
+    #[test]
+    fn frames_advance_time() {
+        let mut s = sim();
+        s.step_frames(60);
+        assert_eq!(s.frame(), 60);
+        assert!((s.time() - 1.0).abs() < 1e-9);
+        assert_eq!(s.trajectory().len(), 60);
+    }
+
+    #[test]
+    fn rpc_surface_answers() {
+        let mut s = sim();
+        s.step_frames(1);
+        assert!(matches!(s.handle(SimRequest::GetImage), SimResponse::Image(_)));
+        assert!(matches!(s.handle(SimRequest::GetImu), SimResponse::Imu(_)));
+        assert!(matches!(s.handle(SimRequest::GetDepth), SimResponse::Depth(_)));
+        assert!(matches!(s.handle(SimRequest::GetPose), SimResponse::Pose(_)));
+        assert!(matches!(
+            s.handle(SimRequest::SetVelocityTarget(VelocityTarget::forward(2.0))),
+            SimResponse::Ack
+        ));
+        assert_eq!(s.target().forward, 2.0);
+    }
+
+    #[test]
+    fn reset_restores_pose_and_counters() {
+        let mut s = sim();
+        s.step_frames(10);
+        let r = s.handle(SimRequest::Reset {
+            position: Vec3::new(1.0, 0.5, 2.0),
+            yaw: 0.3,
+        });
+        assert_eq!(r, SimResponse::Ack);
+        let p = s.pose();
+        assert_eq!(p.position, Vec3::new(1.0, 0.5, 2.0));
+        assert!((p.yaw - 0.3).abs() < 1e-9);
+        assert_eq!(s.collision_count(), 0);
+    }
+
+    #[test]
+    fn wall_contact_is_counted_once_per_event() {
+        let mut s = sim();
+        // Teleport into the wall region and give lateral velocity.
+        s.handle(SimRequest::Reset {
+            position: Vec3::new(10.0, 1.2, 1.5),
+            yaw: 0.0,
+        });
+        s.body.state_mut().velocity = Vec3::new(0.0, 3.0, 0.0);
+        s.step_frames(30);
+        assert!(s.collision_count() >= 1);
+        // The push-out keeps the UAV inside the corridor.
+        assert!(s.pose().position.y.abs() <= 1.6 + 0.01);
+    }
+}

@@ -1,0 +1,250 @@
+//! The RoSÉ wire protocol.
+//!
+//! "Packets consist of a header, containing the packet type and number of
+//! bytes, as well as a payload containing the serialized contents of the
+//! message" (Section 3.4.1). Two families exist:
+//!
+//! * **synchronization packets** ([`Packet::GrantCycles`],
+//!   [`Packet::CyclesDone`], [`Packet::FramesDone`], [`Packet::Shutdown`])
+//!   — simulator control, invisible to the modeled SoC;
+//! * **data packets** ([`Packet::Data`]) — sensor and actuator payloads,
+//!   the only packets exposed through the RoSÉ BRIDGE queues.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Wire packet type tags.
+const TAG_GRANT: u8 = 0x01;
+const TAG_CYCLES_DONE: u8 = 0x02;
+const TAG_FRAMES_DONE: u8 = 0x03;
+const TAG_DATA: u8 = 0x04;
+const TAG_SHUTDOWN: u8 = 0x05;
+
+/// Header length: 1 tag byte + 4 length bytes.
+pub const HEADER_LEN: usize = 5;
+
+/// Maximum accepted payload (prevents unbounded allocation on a corrupt
+/// length field).
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// A protocol packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Sync: grant the RTL simulation `cycles` of execution
+    /// (`set_firesim_steps` / `allocate_rtl_frames` in Algorithm 1).
+    GrantCycles {
+        /// Cycles granted for the coming synchronization period.
+        cycles: u64,
+    },
+    /// Sync: the RTL side reports it has consumed its grant.
+    CyclesDone {
+        /// Cycles actually executed.
+        cycles: u64,
+    },
+    /// Sync: the environment side reports it finished its frames.
+    FramesDone {
+        /// Frames executed.
+        frames: u64,
+    },
+    /// A data packet: serialized sensor/actuator message, opaque here.
+    Data(Vec<u8>),
+    /// Sync: orderly end of simulation.
+    Shutdown,
+}
+
+/// A packet decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not yet hold a complete packet (read more bytes).
+    Incomplete,
+    /// Unknown packet tag.
+    BadTag(u8),
+    /// Length field exceeds [`MAX_PAYLOAD`] or mismatches the tag.
+    BadLength(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Incomplete => write!(f, "incomplete packet"),
+            DecodeError::BadTag(t) => write!(f, "unknown packet tag {t:#04x}"),
+            DecodeError::BadLength(n) => write!(f, "invalid payload length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Packet {
+    /// Serializes the packet into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Packet::GrantCycles { cycles } => {
+                buf.put_u8(TAG_GRANT);
+                buf.put_u32_le(8);
+                buf.put_u64_le(*cycles);
+            }
+            Packet::CyclesDone { cycles } => {
+                buf.put_u8(TAG_CYCLES_DONE);
+                buf.put_u32_le(8);
+                buf.put_u64_le(*cycles);
+            }
+            Packet::FramesDone { frames } => {
+                buf.put_u8(TAG_FRAMES_DONE);
+                buf.put_u32_le(8);
+                buf.put_u64_le(*frames);
+            }
+            Packet::Data(payload) => {
+                buf.put_u8(TAG_DATA);
+                buf.put_u32_le(payload.len() as u32);
+                buf.put_slice(payload);
+            }
+            Packet::Shutdown => {
+                buf.put_u8(TAG_SHUTDOWN);
+                buf.put_u32_le(0);
+            }
+        }
+    }
+
+    /// Serializes to a standalone byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Attempts to decode one packet from the front of `buf`, consuming it
+    /// on success.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Incomplete`] if more bytes are needed (buffer is left
+    /// untouched); [`DecodeError::BadTag`]/[`DecodeError::BadLength`] on
+    /// corrupt input.
+    pub fn decode(buf: &mut BytesMut) -> Result<Packet, DecodeError> {
+        if buf.len() < HEADER_LEN {
+            return Err(DecodeError::Incomplete);
+        }
+        let tag = buf[0];
+        let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(DecodeError::BadLength(len));
+        }
+        let fixed = |expected: usize| {
+            if len == expected {
+                Ok(())
+            } else {
+                Err(DecodeError::BadLength(len))
+            }
+        };
+        match tag {
+            TAG_GRANT | TAG_CYCLES_DONE | TAG_FRAMES_DONE => fixed(8)?,
+            TAG_SHUTDOWN => fixed(0)?,
+            TAG_DATA => {}
+            t => return Err(DecodeError::BadTag(t)),
+        }
+        if buf.len() < HEADER_LEN + len {
+            return Err(DecodeError::Incomplete);
+        }
+        buf.advance(HEADER_LEN);
+        let mut payload: Bytes = buf.split_to(len).freeze();
+        Ok(match tag {
+            TAG_GRANT => Packet::GrantCycles {
+                cycles: payload.get_u64_le(),
+            },
+            TAG_CYCLES_DONE => Packet::CyclesDone {
+                cycles: payload.get_u64_le(),
+            },
+            TAG_FRAMES_DONE => Packet::FramesDone {
+                frames: payload.get_u64_le(),
+            },
+            TAG_DATA => Packet::Data(payload.to_vec()),
+            TAG_SHUTDOWN => Packet::Shutdown,
+            _ => unreachable!("tag validated above"),
+        })
+    }
+
+    /// True for synchronization packets (invisible to the modeled SoC).
+    pub fn is_sync(&self) -> bool {
+        !matches!(self, Packet::Data(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pkt: Packet) {
+        let mut buf = BytesMut::new();
+        pkt.encode(&mut buf);
+        let decoded = Packet::decode(&mut buf).expect("decode");
+        assert_eq!(decoded, pkt);
+        assert!(buf.is_empty(), "decode must consume the packet");
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(Packet::GrantCycles { cycles: 16_666_666 });
+        roundtrip(Packet::CyclesDone { cycles: 1 });
+        roundtrip(Packet::FramesDone { frames: 40 });
+        roundtrip(Packet::Data(vec![1, 2, 3, 4, 5]));
+        roundtrip(Packet::Data(vec![]));
+        roundtrip(Packet::Shutdown);
+    }
+
+    #[test]
+    fn incomplete_buffers_wait_for_more() {
+        let full = Packet::Data(vec![7; 100]).to_bytes();
+        for cut in [0, 1, 4, HEADER_LEN, HEADER_LEN + 50] {
+            let mut buf = BytesMut::from(&full[..cut]);
+            assert_eq!(Packet::decode(&mut buf), Err(DecodeError::Incomplete));
+            assert_eq!(buf.len(), cut, "incomplete decode must not consume");
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_stream() {
+        let mut buf = BytesMut::new();
+        Packet::GrantCycles { cycles: 5 }.encode(&mut buf);
+        Packet::Data(vec![9, 9]).encode(&mut buf);
+        Packet::Shutdown.encode(&mut buf);
+        assert_eq!(
+            Packet::decode(&mut buf).unwrap(),
+            Packet::GrantCycles { cycles: 5 }
+        );
+        assert_eq!(Packet::decode(&mut buf).unwrap(), Packet::Data(vec![9, 9]));
+        assert_eq!(Packet::decode(&mut buf).unwrap(), Packet::Shutdown);
+        assert_eq!(Packet::decode(&mut buf), Err(DecodeError::Incomplete));
+    }
+
+    #[test]
+    fn corrupt_tag_rejected() {
+        let mut raw = Packet::Shutdown.to_bytes();
+        raw[0] = 0x7f;
+        let mut buf = BytesMut::from(&raw[..]);
+        assert_eq!(Packet::decode(&mut buf), Err(DecodeError::BadTag(0x7f)));
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        let mut raw = Packet::GrantCycles { cycles: 1 }.to_bytes();
+        raw[1] = 9; // length must be exactly 8
+        let mut buf = BytesMut::from(&raw[..]);
+        assert_eq!(Packet::decode(&mut buf), Err(DecodeError::BadLength(9)));
+        // Oversized data payload length.
+        let mut raw = Packet::Data(vec![]).to_bytes();
+        raw[1..5].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut buf = BytesMut::from(&raw[..]);
+        assert!(matches!(
+            Packet::decode(&mut buf),
+            Err(DecodeError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn sync_vs_data_classification() {
+        assert!(Packet::GrantCycles { cycles: 0 }.is_sync());
+        assert!(Packet::Shutdown.is_sync());
+        assert!(!Packet::Data(vec![]).is_sync());
+    }
+}

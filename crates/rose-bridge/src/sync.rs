@@ -1,0 +1,534 @@
+//! The lockstep synchronizer (Algorithm 1).
+//!
+//! "RoSÉ implements a lockstep synchronization method... A synchronization
+//! period is defined between both simulators in terms of AirSim frames and
+//! SoC clock cycles" (Section 3.4.1). The [`Synchronizer`] owns both
+//! simulator endpoints through the [`EnvSide`] / [`RtlSide`] traits and
+//! advances them one sync period at a time:
+//!
+//! 1. poll the RTL side for I/O data and translate each datum into
+//!    environment API calls,
+//! 2. forward the responses (and any unsolicited sensor data) to the RTL
+//!    side's RX queue,
+//! 3. allocate tokens: grant the RTL simulation its cycle budget and the
+//!    environment its frames,
+//! 4. wait for both to finish, and advance simulation time.
+//!
+//! Data crossing between simulators is therefore only visible at sync
+//! boundaries — coarser synchronization induces artificial latency, the
+//! effect measured in Figure 16.
+
+use crate::packet::Packet;
+use crate::transport::{Transport, TransportError};
+use rose_sim_core::cycles::{SimTime, SyncRatio};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The environment-simulator side of the co-simulation (AirSim's role).
+pub trait EnvSide {
+    /// Advances the environment by `frames` physics/render steps.
+    fn step_frames(&mut self, frames: u64);
+
+    /// Decodes one data payload from the SoC, performs the corresponding
+    /// simulator API call, and returns any response payloads.
+    fn handle_data(&mut self, payload: &[u8]) -> Vec<Vec<u8>>;
+
+    /// Unsolicited data the environment wants to push this period
+    /// (e.g. streamed sensors). Default: none.
+    fn poll_data(&mut self) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+}
+
+/// The RTL-simulator side of the co-simulation (FireSim's role).
+pub trait RtlSide {
+    /// Grants `cycles` of execution and runs the simulation until the
+    /// grant is consumed.
+    fn grant_and_run(&mut self, cycles: u64);
+
+    /// Enqueues a data payload into the SoC-bound bridge queue.
+    fn push_data(&mut self, payload: Vec<u8>);
+
+    /// Drains every payload the SoC produced.
+    fn drain_tx(&mut self) -> Vec<Vec<u8>>;
+
+    /// True once the target program has halted (ends the mission loop).
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
+/// Synchronization configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncConfig {
+    /// The clock-domain ratio (Equation 1).
+    pub ratio: SyncRatio,
+    /// Environment frames per synchronization period (the granularity
+    /// swept in Figures 15/16).
+    pub frames_per_sync: u64,
+}
+
+impl SyncConfig {
+    /// Creates a config; `frames_per_sync` must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames_per_sync` is zero.
+    pub fn new(ratio: SyncRatio, frames_per_sync: u64) -> SyncConfig {
+        assert!(frames_per_sync > 0, "sync period must cover >= 1 frame");
+        SyncConfig {
+            ratio,
+            frames_per_sync,
+        }
+    }
+
+    /// SoC cycles per synchronization period.
+    pub fn cycles_per_sync(&self) -> u64 {
+        self.ratio.cycles_for_frames(self.frames_per_sync)
+    }
+}
+
+impl Default for SyncConfig {
+    /// 1 frame per sync at the default 1 GHz / 60 fps ratio (≈16.7M
+    /// cycles), the fine-granularity end of Figure 15.
+    fn default() -> SyncConfig {
+        SyncConfig::new(SyncRatio::default(), 1)
+    }
+}
+
+/// Synchronizer progress counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SyncStats {
+    /// Synchronization periods completed.
+    pub syncs: u64,
+    /// Simulated SoC cycles.
+    pub sim_cycles: u64,
+    /// Simulated environment frames.
+    pub sim_frames: u64,
+    /// Data payloads delivered SoC → environment.
+    pub data_to_env: u64,
+    /// Data payloads delivered environment → SoC.
+    pub data_to_rtl: u64,
+    /// Wall-clock time spent inside `step_sync`.
+    pub wall: Duration,
+}
+
+impl SyncStats {
+    /// Co-simulation throughput in simulated cycles per wall second
+    /// (Figure 15's y-axis).
+    pub fn throughput_hz(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / secs
+        }
+    }
+}
+
+/// The lockstep synchronizer.
+#[derive(Debug)]
+pub struct Synchronizer<E, R> {
+    env: E,
+    rtl: R,
+    config: SyncConfig,
+    time: SimTime,
+    stats: SyncStats,
+}
+
+impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
+    /// Creates a synchronizer owning both simulator endpoints.
+    pub fn new(config: SyncConfig, env: E, rtl: R) -> Synchronizer<E, R> {
+        Synchronizer {
+            env,
+            rtl,
+            config,
+            time: SimTime::ZERO,
+            stats: SyncStats::default(),
+        }
+    }
+
+    /// The synchronization configuration.
+    pub fn config(&self) -> &SyncConfig {
+        &self.config
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Progress counters.
+    pub fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    /// The environment endpoint.
+    pub fn env(&self) -> &E {
+        &self.env
+    }
+
+    /// Mutable environment endpoint access (between sync periods).
+    pub fn env_mut(&mut self) -> &mut E {
+        &mut self.env
+    }
+
+    /// The RTL endpoint.
+    pub fn rtl(&self) -> &R {
+        &self.rtl
+    }
+
+    /// Mutable RTL endpoint access (between sync periods).
+    pub fn rtl_mut(&mut self) -> &mut R {
+        &mut self.rtl
+    }
+
+    /// Consumes the synchronizer, returning the endpoints.
+    pub fn into_parts(self) -> (E, R) {
+        (self.env, self.rtl)
+    }
+
+    /// Executes one synchronization period (the body of Algorithm 1).
+    pub fn step_sync(&mut self) {
+        let started = Instant::now();
+
+        // Poll simulators for new data: translate I/O packets from the SoC
+        // into environment API calls, and queue the responses (plus any
+        // unsolicited sensor data) towards the SoC.
+        for datum in self.rtl.drain_tx() {
+            self.stats.data_to_env += 1;
+            for response in self.env.handle_data(&datum) {
+                self.stats.data_to_rtl += 1;
+                self.rtl.push_data(response);
+            }
+        }
+        for datum in self.env.poll_data() {
+            self.stats.data_to_rtl += 1;
+            self.rtl.push_data(datum);
+        }
+
+        // Allocate tokens and run both simulators one sync period.
+        let cycles = self.config.cycles_per_sync();
+        let frames = self.config.frames_per_sync;
+        self.rtl.grant_and_run(cycles);
+        self.env.step_frames(frames);
+
+        self.time.advance(frames, cycles);
+        self.stats.syncs += 1;
+        self.stats.sim_cycles += cycles;
+        self.stats.sim_frames += frames;
+        self.stats.wall += started.elapsed();
+    }
+
+    /// Runs `n` synchronization periods.
+    pub fn run_syncs(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_sync();
+        }
+    }
+
+    /// Runs until `done(env, time)` returns true, the RTL program halts, or
+    /// `max_syncs` elapse. Returns the number of periods executed.
+    pub fn run_until(
+        &mut self,
+        max_syncs: u64,
+        mut done: impl FnMut(&E, SimTime) -> bool,
+    ) -> u64 {
+        let mut executed = 0;
+        while executed < max_syncs && !self.rtl.halted() && !done(&self.env, self.time) {
+            self.step_sync();
+            executed += 1;
+        }
+        executed
+    }
+}
+
+/// An [`RtlSide`] living behind a packet transport (the paper's TCP
+/// deployment: the synchronizer drives a remote FireSim instance).
+#[derive(Debug)]
+pub struct RemoteRtl<T> {
+    transport: T,
+    /// Payloads to deliver with the next grant.
+    outbox: Vec<Vec<u8>>,
+    /// Payloads received from the remote SoC.
+    inbox: Vec<Vec<u8>>,
+    halted: bool,
+}
+
+impl<T: Transport> RemoteRtl<T> {
+    /// Wraps a connected transport.
+    pub fn new(transport: T) -> RemoteRtl<T> {
+        RemoteRtl {
+            transport,
+            outbox: Vec::new(),
+            inbox: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Sends an orderly shutdown to the remote server.
+    ///
+    /// # Errors
+    ///
+    /// Any transport error.
+    pub fn shutdown(mut self) -> Result<(), TransportError> {
+        self.transport.send(&Packet::Shutdown)
+    }
+}
+
+impl<T: Transport> RtlSide for RemoteRtl<T> {
+    fn grant_and_run(&mut self, cycles: u64) {
+        for payload in self.outbox.drain(..) {
+            self.transport
+                .send(&Packet::Data(payload))
+                .expect("remote RTL send failed");
+        }
+        self.transport
+            .send(&Packet::GrantCycles { cycles })
+            .expect("remote RTL send failed");
+        // Wait for completion, collecting data the SoC emitted.
+        loop {
+            match self.transport.recv().expect("remote RTL recv failed") {
+                Packet::Data(payload) => self.inbox.push(payload),
+                Packet::CyclesDone { .. } => break,
+                Packet::Shutdown => {
+                    self.halted = true;
+                    break;
+                }
+                other => panic!("unexpected packet from RTL server: {other:?}"),
+            }
+        }
+    }
+
+    fn push_data(&mut self, payload: Vec<u8>) {
+        self.outbox.push(payload);
+    }
+
+    fn drain_tx(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+/// Serves a local [`RtlSide`] implementation over a transport: the
+/// counterpart of [`RemoteRtl`], running next to the RTL simulation (the
+/// bridge-driver process in the paper's deployment).
+///
+/// Processes grants until a [`Packet::Shutdown`] arrives or the transport
+/// disconnects.
+///
+/// # Errors
+///
+/// Returns the first transport error other than an orderly disconnect.
+pub fn serve_rtl<T: Transport, R: RtlSide>(
+    transport: &mut T,
+    rtl: &mut R,
+) -> Result<(), TransportError> {
+    loop {
+        match transport.recv() {
+            Ok(Packet::Data(payload)) => rtl.push_data(payload),
+            Ok(Packet::GrantCycles { cycles }) => {
+                rtl.grant_and_run(cycles);
+                for payload in rtl.drain_tx() {
+                    transport.send(&Packet::Data(payload))?;
+                }
+                transport.send(&Packet::CyclesDone { cycles })?;
+            }
+            Ok(Packet::Shutdown) => return Ok(()),
+            Ok(other) => panic!("unexpected packet at RTL server: {other:?}"),
+            Err(TransportError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use rose_sim_core::cycles::{ClockSpec, FrameSpec};
+    use std::thread;
+
+    /// Echo environment: replies to each datum with the same bytes + 1.
+    #[derive(Default)]
+    struct EchoEnv {
+        frames: u64,
+        handled: u64,
+    }
+
+    impl EnvSide for EchoEnv {
+        fn step_frames(&mut self, frames: u64) {
+            self.frames += frames;
+        }
+
+        fn handle_data(&mut self, payload: &[u8]) -> Vec<Vec<u8>> {
+            self.handled += 1;
+            vec![payload.iter().map(|b| b + 1).collect()]
+        }
+    }
+
+    /// Loopback RTL: every pushed payload is emitted back on the next
+    /// quantum; counts granted cycles.
+    #[derive(Default)]
+    struct LoopRtl {
+        cycles: u64,
+        rx: Vec<Vec<u8>>,
+        tx: Vec<Vec<u8>>,
+    }
+
+    impl RtlSide for LoopRtl {
+        fn grant_and_run(&mut self, cycles: u64) {
+            self.cycles += cycles;
+            self.tx.append(&mut self.rx);
+        }
+
+        fn push_data(&mut self, payload: Vec<u8>) {
+            self.rx.push(payload);
+        }
+
+        fn drain_tx(&mut self) -> Vec<Vec<u8>> {
+            std::mem::take(&mut self.tx)
+        }
+    }
+
+    fn config(frames_per_sync: u64) -> SyncConfig {
+        SyncConfig::new(
+            SyncRatio::new(ClockSpec::from_hz(600), FrameSpec::from_hz(60)),
+            frames_per_sync,
+        )
+    }
+
+    #[test]
+    fn lockstep_advances_both_domains() {
+        let mut sync = Synchronizer::new(config(2), EchoEnv::default(), LoopRtl::default());
+        sync.run_syncs(5);
+        assert_eq!(sync.env().frames, 10);
+        assert_eq!(sync.rtl().cycles, 5 * 2 * 10); // 10 cycles/frame
+        assert_eq!(sync.time().frame.raw(), 10);
+        assert_eq!(sync.time().cycle.raw(), 100);
+        assert_eq!(sync.stats().syncs, 5);
+    }
+
+    #[test]
+    fn data_crosses_at_sync_boundaries() {
+        let mut sync = Synchronizer::new(config(1), EchoEnv::default(), LoopRtl::default());
+        // Seed a message in the RTL TX path.
+        sync.rtl_mut().tx.push(vec![1, 2, 3]);
+        sync.step_sync();
+        // Sync 1: message went to env, echo (+1) queued into RTL rx and
+        // emitted into tx by the same grant.
+        assert_eq!(sync.env().handled, 1);
+        sync.step_sync();
+        // Sync 2: echoed message [2,3,4] reached the env and re-echoed.
+        assert_eq!(sync.env().handled, 2);
+        assert_eq!(sync.stats().data_to_env, 2);
+        assert_eq!(sync.stats().data_to_rtl, 2);
+    }
+
+    #[test]
+    fn run_until_predicate_stops() {
+        let mut sync = Synchronizer::new(config(1), EchoEnv::default(), LoopRtl::default());
+        let executed = sync.run_until(100, |env, _| env.frames >= 7);
+        assert_eq!(executed, 7);
+        assert_eq!(sync.env().frames, 7);
+    }
+
+    #[test]
+    fn equation_1_cycles_per_sync() {
+        let cfg = SyncConfig::new(
+            SyncRatio::new(ClockSpec::from_hz(1_000_000_000), FrameSpec::from_hz(60)),
+            1,
+        );
+        assert_eq!(cfg.cycles_per_sync(), 16_666_666);
+        let coarse = SyncConfig::new(cfg.ratio, 40);
+        assert_eq!(coarse.cycles_per_sync(), 40 * 16_666_666);
+    }
+
+    #[test]
+    fn remote_rtl_matches_local_behavior() {
+        // Serve a LoopRtl over an in-process transport on another thread,
+        // then run the same scenario as `data_crosses_at_sync_boundaries`.
+        let (client, mut server) = ChannelTransport::pair();
+        let server_thread = thread::spawn(move || {
+            let mut rtl = LoopRtl::default();
+            serve_rtl(&mut server, &mut rtl).unwrap();
+            rtl
+        });
+
+        let mut remote = RemoteRtl::new(client);
+        remote.push_data(vec![9]);
+        let mut sync = Synchronizer::new(config(1), EchoEnv::default(), remote);
+        sync.step_sync(); // delivers [9]; loopback emits it
+        sync.step_sync(); // env receives [9], echoes [10]
+        assert_eq!(sync.env().handled, 1);
+        sync.step_sync(); // loopback emitted [10] during sync 2's grant...
+        assert_eq!(sync.env().handled, 2); // ...so env handles it here
+        sync.step_sync();
+        assert_eq!(sync.env().handled, 3);
+
+        let (_, remote) = sync.into_parts();
+        remote.shutdown().unwrap();
+        let rtl = server_thread.join().unwrap();
+        assert!(rtl.cycles > 0);
+    }
+}
+
+#[cfg(test)]
+mod poll_tests {
+    use super::*;
+    use rose_sim_core::cycles::{ClockSpec, FrameSpec};
+
+    /// An environment that streams one unsolicited sensor sample per sync
+    /// (the `poll_data` path, used for pushed sensor streams).
+    #[derive(Default)]
+    struct StreamingEnv {
+        frame: u64,
+    }
+
+    impl EnvSide for StreamingEnv {
+        fn step_frames(&mut self, frames: u64) {
+            self.frame += frames;
+        }
+
+        fn handle_data(&mut self, _payload: &[u8]) -> Vec<Vec<u8>> {
+            Vec::new()
+        }
+
+        fn poll_data(&mut self) -> Vec<Vec<u8>> {
+            vec![self.frame.to_le_bytes().to_vec()]
+        }
+    }
+
+    #[derive(Default)]
+    struct SinkRtl {
+        received: Vec<Vec<u8>>,
+    }
+
+    impl RtlSide for SinkRtl {
+        fn grant_and_run(&mut self, _cycles: u64) {}
+        fn push_data(&mut self, payload: Vec<u8>) {
+            self.received.push(payload);
+        }
+        fn drain_tx(&mut self) -> Vec<Vec<u8>> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn unsolicited_env_data_streams_to_the_rtl() {
+        let config = SyncConfig::new(
+            SyncRatio::new(ClockSpec::from_hz(600), FrameSpec::from_hz(60)),
+            1,
+        );
+        let mut sync = Synchronizer::new(config, StreamingEnv::default(), SinkRtl::default());
+        sync.run_syncs(5);
+        assert_eq!(sync.rtl().received.len(), 5);
+        // Samples carry the frame count at push time (before the step).
+        assert_eq!(sync.rtl().received[0], 0u64.to_le_bytes().to_vec());
+        assert_eq!(sync.rtl().received[4], 4u64.to_le_bytes().to_vec());
+        assert_eq!(sync.stats().data_to_rtl, 5);
+    }
+}

@@ -1,0 +1,271 @@
+//! Packet transports.
+//!
+//! The paper's synchronizer communicates "with FireSim by using a TCP
+//! listener" (Section 3.4.1). [`TcpTransport`] reproduces that deployment;
+//! [`ChannelTransport`] provides the same interface in-process for
+//! single-machine co-simulation and tests.
+
+use crate::packet::{DecodeError, Packet};
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// A transport error.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer disconnected.
+    Disconnected,
+    /// A malformed packet arrived.
+    Decode(DecodeError),
+    /// An I/O error occurred.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::Decode(e) => write!(f, "decode error: {e}"),
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> TransportError {
+        TransportError::Io(e)
+    }
+}
+
+/// A bidirectional, ordered packet pipe.
+pub trait Transport {
+    /// Sends one packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the peer is gone or I/O fails.
+    fn send(&mut self, packet: &Packet) -> Result<(), TransportError>;
+
+    /// Receives the next packet without blocking; `None` if none is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnect or corrupt input.
+    fn try_recv(&mut self) -> Result<Option<Packet>, TransportError>;
+
+    /// Receives the next packet, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnect or corrupt input.
+    fn recv(&mut self) -> Result<Packet, TransportError>;
+}
+
+/// An in-process transport over crossbeam channels.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx: Sender<Packet>,
+    rx: Receiver<Packet>,
+}
+
+impl ChannelTransport {
+    /// Creates a connected pair of endpoints.
+    pub fn pair() -> (ChannelTransport, ChannelTransport) {
+        let (tx_a, rx_b) = unbounded();
+        let (tx_b, rx_a) = unbounded();
+        (
+            ChannelTransport { tx: tx_a, rx: rx_a },
+            ChannelTransport { tx: tx_b, rx: rx_b },
+        )
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, packet: &Packet) -> Result<(), TransportError> {
+        self.tx
+            .send(packet.clone())
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Packet>, TransportError> {
+        match self.rx.try_recv() {
+            Ok(p) => Ok(Some(p)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Packet, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+}
+
+/// A framed TCP transport.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    inbox: BytesMut,
+}
+
+impl TcpTransport {
+    /// Connects to a listening peer.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from the connection attempt.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport::from_stream(stream))
+    }
+
+    /// Accepts one connection from `listener`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from `accept`.
+    pub fn accept(listener: &TcpListener) -> io::Result<TcpTransport> {
+        let (stream, _) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport::from_stream(stream))
+    }
+
+    /// Wraps an existing connected stream.
+    pub fn from_stream(stream: TcpStream) -> TcpTransport {
+        TcpTransport {
+            stream,
+            inbox: BytesMut::with_capacity(64 * 1024),
+        }
+    }
+
+    fn pump(&mut self, blocking: bool) -> Result<(), TransportError> {
+        self.stream.set_nonblocking(!blocking)?;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => {
+                    self.inbox.extend_from_slice(&chunk[..n]);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Result<Option<Packet>, TransportError> {
+        match Packet::decode(&mut self.inbox) {
+            Ok(p) => Ok(Some(p)),
+            Err(DecodeError::Incomplete) => Ok(None),
+            Err(e) => Err(TransportError::Decode(e)),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, packet: &Packet) -> Result<(), TransportError> {
+        self.stream.set_nonblocking(false)?;
+        self.stream.write_all(&packet.to_bytes())?;
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Packet>, TransportError> {
+        if let Some(p) = self.pop()? {
+            return Ok(Some(p));
+        }
+        self.pump(false)?;
+        self.pop()
+    }
+
+    fn recv(&mut self) -> Result<Packet, TransportError> {
+        loop {
+            if let Some(p) = self.pop()? {
+                return Ok(p);
+            }
+            self.pump(true)?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    #[test]
+    fn channel_roundtrip() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        a.send(&Packet::GrantCycles { cycles: 10 }).unwrap();
+        a.send(&Packet::Data(vec![1, 2])).unwrap();
+        assert_eq!(b.recv().unwrap(), Packet::GrantCycles { cycles: 10 });
+        assert_eq!(b.try_recv().unwrap(), Some(Packet::Data(vec![1, 2])));
+        assert_eq!(b.try_recv().unwrap(), None);
+        b.send(&Packet::Shutdown).unwrap();
+        assert_eq!(a.recv().unwrap(), Packet::Shutdown);
+    }
+
+    #[test]
+    fn channel_disconnect_detected() {
+        let (mut a, b) = ChannelTransport::pair();
+        drop(b);
+        assert!(matches!(
+            a.send(&Packet::Shutdown),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut t = TcpTransport::accept(&listener).unwrap();
+            // Echo three packets back.
+            for _ in 0..3 {
+                let p = t.recv().unwrap();
+                t.send(&p).unwrap();
+            }
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let packets = [
+            Packet::GrantCycles { cycles: 123 },
+            Packet::Data((0..1000u32).flat_map(|i| i.to_le_bytes()).collect()),
+            Packet::Shutdown,
+        ];
+        for p in &packets {
+            client.send(p).unwrap();
+        }
+        for p in &packets {
+            assert_eq!(&client.recv().unwrap(), p);
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_try_recv_nonblocking() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = thread::spawn(move || TcpTransport::accept(&listener).unwrap());
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let mut server = handle.join().unwrap();
+        // Nothing sent yet.
+        assert!(matches!(client.try_recv(), Ok(None)));
+        server.send(&Packet::FramesDone { frames: 1 }).unwrap();
+        // Poll until it arrives.
+        let mut got = None;
+        for _ in 0..1000 {
+            if let Some(p) = client.try_recv().unwrap() {
+                got = Some(p);
+                break;
+            }
+            thread::yield_now();
+        }
+        assert_eq!(got, Some(Packet::FramesDone { frames: 1 }));
+    }
+}

@@ -1,0 +1,466 @@
+//! The trail-navigation target programs.
+//!
+//! These are the companion-computer applications of the evaluation: a
+//! DNN-based end-to-end controller that requests a camera frame over the
+//! RoSÉ I/O, runs inference on the simulated SoC, and sends angular and
+//! linear velocity targets to the flight controller (Sections 4.2.2, 5.2).
+//!
+//! Two variants exist, selected by [`ControllerChoice`]:
+//!
+//! * **Static** — one fixed network (Figures 10–12, 14).
+//! * **Dynamic** — the dynamic runtime of Section 5.3: reads the forward
+//!   depth sensor, computes the deadline (Equations 3–5), and selects the
+//!   high-accuracy network when time allows or the low-latency network
+//!   (with an argmax policy) when a collision is imminent.
+
+use crate::deadline::DeadlineModel;
+use crate::message::{AppMessage, TrailInfo};
+use parking_lot::Mutex;
+use rose_dnn::lower::{lower_inference, LoweringConfig};
+use rose_dnn::perception::PerceptionHead;
+use rose_dnn::DnnModel;
+use rose_sim_core::rng::SimRng;
+use rose_socsim::program::{ProgContext, TargetProgram};
+use rose_socsim::TargetOp;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Controller gains β of Equation 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlGains {
+    /// β_l: lateral velocity per unit class-probability difference (m/s).
+    pub beta_lateral: f64,
+    /// β_ω: yaw rate per unit class-probability difference (rad/s).
+    pub beta_yaw: f64,
+}
+
+impl Default for ControlGains {
+    fn default() -> ControlGains {
+        ControlGains {
+            beta_lateral: 3.0,
+            beta_yaw: 2.5,
+        }
+    }
+}
+
+/// Which controller runs on the companion computer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControllerChoice {
+    /// A single fixed DNN.
+    Static(DnnModel),
+    /// The dynamic runtime: select per-inference based on the deadline.
+    Dynamic {
+        /// Low-latency fallback network (run with an argmax policy).
+        fast: DnnModel,
+        /// High-accuracy network used when the deadline allows.
+        accurate: DnnModel,
+        /// Switch to `fast` when `t_process` (Eq. 5) drops below this (s).
+        threshold_s: f64,
+    },
+}
+
+impl ControllerChoice {
+    /// The paper's dynamic configuration: ResNet14 + ResNet6 (Section 5.3).
+    pub fn dynamic_default() -> ControllerChoice {
+        ControllerChoice::Dynamic {
+            fast: DnnModel::ResNet6,
+            accurate: DnnModel::ResNet14,
+            threshold_s: 0.35,
+        }
+    }
+}
+
+/// Metrics the application records as it flies (the quantitative metrics
+/// of the artifact: DNN latency, inference counts, model selections).
+#[derive(Debug, Clone, Default)]
+pub struct AppMetrics {
+    /// Completed inferences.
+    pub inferences: u64,
+    /// Per-inference latency, image request → command send, in cycles
+    /// (Figure 16c's measurement).
+    pub latencies_cycles: Vec<u64>,
+    /// Velocity commands sent.
+    pub commands: u64,
+    /// Inferences executed with the fast (argmax) network.
+    pub fast_inferences: u64,
+    /// Deadline evaluations that selected the fast network.
+    pub deadline_switches: u64,
+}
+
+impl AppMetrics {
+    /// Mean inference latency in cycles (0 if none).
+    pub fn mean_latency_cycles(&self) -> f64 {
+        if self.latencies_cycles.is_empty() {
+            0.0
+        } else {
+            self.latencies_cycles.iter().sum::<u64>() as f64 / self.latencies_cycles.len() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    /// Request the depth sensor (dynamic runtime only).
+    RequestDepth,
+    AwaitDepth,
+    RequestImage,
+    AwaitImage,
+    /// Drain the lowered inference ops.
+    Inference,
+    SendCommand,
+}
+
+/// The trail-navigation application (a [`TargetProgram`]).
+pub struct TrailNavApp {
+    choice: ControllerChoice,
+    gains: ControlGains,
+    velocity: f64,
+    altitude: f64,
+    deadline: DeadlineModel,
+    /// Lowered inference ops per model (accurate first, fast second for
+    /// the dynamic runtime).
+    plans: Vec<(DnnModel, Vec<TargetOp>)>,
+    heads: Vec<(DnnModel, PerceptionHead)>,
+    state: State,
+    queue: VecDeque<TargetOp>,
+    current_model: DnnModel,
+    use_argmax: bool,
+    last_trail: TrailInfo,
+    request_cycle: u64,
+    metrics: Arc<Mutex<AppMetrics>>,
+}
+
+impl std::fmt::Debug for TrailNavApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrailNavApp")
+            .field("choice", &self.choice)
+            .field("state", &self.state)
+            .field("velocity", &self.velocity)
+            .finish()
+    }
+}
+
+impl TrailNavApp {
+    /// Builds the application.
+    ///
+    /// * `choice` — static or dynamic controller selection.
+    /// * `has_accelerator` — lowers convolutions to the accelerator or to
+    ///   CPU kernels (Table 2 config C).
+    /// * `velocity` — the forward velocity target (m/s).
+    /// * `rng` — noise stream for the perception heads.
+    ///
+    /// Returns the program plus a shared handle to its metrics.
+    pub fn new(
+        choice: ControllerChoice,
+        has_accelerator: bool,
+        velocity: f64,
+        rng: &SimRng,
+    ) -> (TrailNavApp, Arc<Mutex<AppMetrics>>) {
+        let models: Vec<DnnModel> = match choice {
+            ControllerChoice::Static(m) => vec![m],
+            ControllerChoice::Dynamic { fast, accurate, .. } => vec![accurate, fast],
+        };
+        let lowering = LoweringConfig::default();
+        let plans: Vec<(DnnModel, Vec<TargetOp>)> = models
+            .iter()
+            .map(|&m| {
+                (
+                    m,
+                    lower_inference(&m.plan(), has_accelerator, &lowering),
+                )
+            })
+            .collect();
+        let heads = models
+            .iter()
+            .map(|&m| (m, PerceptionHead::new(m, rng)))
+            .collect();
+        let metrics = Arc::new(Mutex::new(AppMetrics::default()));
+        let initial_state = match choice {
+            ControllerChoice::Static(_) => State::RequestImage,
+            ControllerChoice::Dynamic { .. } => State::RequestDepth,
+        };
+        let app = TrailNavApp {
+            current_model: models[0],
+            choice,
+            gains: ControlGains::default(),
+            velocity,
+            altitude: 1.5,
+            deadline: DeadlineModel::default(),
+            plans,
+            heads,
+            state: initial_state,
+            queue: VecDeque::new(),
+            use_argmax: false,
+            last_trail: TrailInfo::default(),
+            request_cycle: 0,
+            metrics: Arc::clone(&metrics),
+        };
+        (app, metrics)
+    }
+
+    /// Overrides the control gains.
+    pub fn set_gains(&mut self, gains: ControlGains) {
+        self.gains = gains;
+    }
+
+    fn plan_for(&self, model: DnnModel) -> &[TargetOp] {
+        &self
+            .plans
+            .iter()
+            .find(|(m, _)| *m == model)
+            .expect("plan built at construction")
+            .1
+    }
+
+    fn select_model(&mut self, depth: f64) -> DnnModel {
+        match self.choice {
+            ControllerChoice::Static(m) => m,
+            ControllerChoice::Dynamic {
+                fast,
+                accurate,
+                threshold_s,
+            } => {
+                let t_process = self.deadline.t_process(depth, self.velocity);
+                if t_process < threshold_s {
+                    self.metrics.lock().deadline_switches += 1;
+                    self.use_argmax = true;
+                    fast
+                } else {
+                    self.use_argmax = false;
+                    accurate
+                }
+            }
+        }
+    }
+
+    fn command_from(&mut self, trail: TrailInfo) -> AppMessage {
+        let model = self.current_model;
+        let head = &mut self
+            .heads
+            .iter_mut()
+            .find(|(m, _)| *m == model)
+            .expect("head built at construction")
+            .1;
+        let out = head.classify(trail.heading_error, trail.lateral_offset, trail.half_width);
+        let (angular, lateral) = if self.use_argmax {
+            // Argmax policy: full-magnitude corrections from the fast net
+            // (Section 5.3).
+            (out.angular.one_hot(), out.lateral.one_hot())
+        } else {
+            (out.angular, out.lateral)
+        };
+        // Equation 2: corrections proportional to softmax differences.
+        let yaw_rate = self.gains.beta_yaw * (angular.right() - angular.left());
+        let v_lateral = self.gains.beta_lateral * (lateral.right() - lateral.left());
+        AppMessage::Command {
+            forward: self.velocity,
+            lateral: v_lateral,
+            yaw_rate,
+            altitude: self.altitude,
+        }
+    }
+}
+
+impl TargetProgram for TrailNavApp {
+    fn next_op(&mut self, ctx: &mut ProgContext) -> TargetOp {
+        loop {
+            match self.state {
+                State::RequestDepth => {
+                    self.state = State::AwaitDepth;
+                    return TargetOp::Send(AppMessage::DepthRequest.encode());
+                }
+                State::AwaitDepth => {
+                    match ctx.take_message() {
+                        None => return TargetOp::Recv,
+                        Some(bytes) => {
+                            let depth = match AppMessage::decode(&bytes) {
+                                Ok(AppMessage::Depth { depth }) => depth,
+                                // Unexpected payload: be conservative.
+                                _ => 0.0,
+                            };
+                            self.current_model = self.select_model(depth);
+                            self.state = State::RequestImage;
+                        }
+                    }
+                }
+                State::RequestImage => {
+                    self.request_cycle = ctx.now();
+                    self.state = State::AwaitImage;
+                    return TargetOp::Send(AppMessage::ImageRequest.encode());
+                }
+                State::AwaitImage => match ctx.take_message() {
+                    None => return TargetOp::Recv,
+                    Some(bytes) => {
+                        if let Ok(AppMessage::Image { trail, .. }) = AppMessage::decode(&bytes) {
+                            self.last_trail = trail;
+                        }
+                        self.queue = self.plan_for(self.current_model).iter().cloned().collect();
+                        self.state = State::Inference;
+                    }
+                },
+                State::Inference => match self.queue.pop_front() {
+                    Some(op) => return op,
+                    None => self.state = State::SendCommand,
+                },
+                State::SendCommand => {
+                    let command = self.command_from(self.last_trail);
+                    {
+                        let mut m = self.metrics.lock();
+                        m.inferences += 1;
+                        m.commands += 1;
+                        m.latencies_cycles
+                            .push(ctx.now().saturating_sub(self.request_cycle));
+                        if self.use_argmax {
+                            m.fast_inferences += 1;
+                        }
+                    }
+                    self.state = match self.choice {
+                        ControllerChoice::Static(_) => State::RequestImage,
+                        ControllerChoice::Dynamic { .. } => State::RequestDepth,
+                    };
+                    return TargetOp::Send(command.encode());
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self.choice {
+            ControllerChoice::Static(_) => "trail-nav-static",
+            ControllerChoice::Dynamic { .. } => "trail-nav-dynamic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rose_socsim::Soc;
+    use rose_socsim::SocConfig;
+
+    fn run_app_with_responder(
+        choice: ControllerChoice,
+        grants: u32,
+    ) -> (Arc<Mutex<AppMetrics>>, u64) {
+        let rng = SimRng::new(1);
+        let (app, metrics) = TrailNavApp::new(choice, true, 3.0, &rng);
+        let mut soc = Soc::new(SocConfig::config_a(), Box::new(app));
+        let mut commands = 0;
+        for _ in 0..grants {
+            // Answer every request like the environment would.
+            for payload in soc.bridge_mut().host_drain_tx() {
+                match AppMessage::decode(&payload).unwrap() {
+                    AppMessage::ImageRequest => {
+                        let reply = AppMessage::Image {
+                            width: 64,
+                            height: 64,
+                            pixels: vec![0; 4096],
+                            trail: TrailInfo {
+                                lateral_offset: 0.8,
+                                heading_error: 0.3,
+                                half_width: 1.6,
+                                progress: 1.0,
+                            },
+                        };
+                        soc.bridge_mut().host_push_rx(reply.encode());
+                    }
+                    AppMessage::DepthRequest => {
+                        soc.bridge_mut()
+                            .host_push_rx(AppMessage::Depth { depth: 30.0 }.encode());
+                    }
+                    AppMessage::Command { .. } => commands += 1,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            soc.run_cycles(20_000_000);
+        }
+        (metrics, commands)
+    }
+
+    #[test]
+    fn static_app_closes_the_loop() {
+        let (metrics, commands) =
+            run_app_with_responder(ControllerChoice::Static(DnnModel::ResNet14), 40);
+        let m = metrics.lock();
+        assert!(m.inferences >= 2, "expected >=2 inferences, got {}", m.inferences);
+        assert_eq!(m.commands, m.inferences);
+        assert!(commands >= 1);
+        // Latency covers the lowered inference (~107 ms on config A) plus
+        // sync-boundary waits.
+        let mean = m.mean_latency_cycles();
+        assert!(
+            mean > 80_000_000.0,
+            "latency {mean} should include inference"
+        );
+    }
+
+    #[test]
+    fn dynamic_app_uses_accurate_model_when_safe() {
+        let (metrics, _) = run_app_with_responder(ControllerChoice::dynamic_default(), 40);
+        let m = metrics.lock();
+        assert!(m.inferences >= 1);
+        // Depth 30 m at 3 m/s: 10 s to impact — never switch to the fast
+        // network.
+        assert_eq!(m.fast_inferences, 0);
+        assert_eq!(m.deadline_switches, 0);
+    }
+
+    #[test]
+    fn command_signs_are_corrective() {
+        let rng = SimRng::new(5);
+        let (mut app, _) =
+            TrailNavApp::new(ControllerChoice::Static(DnnModel::ResNet34), true, 3.0, &rng);
+        // UAV far left of the trail and pointing left: corrections must be
+        // rightward (negative lateral, negative yaw).
+        let trail = TrailInfo {
+            lateral_offset: 1.2,
+            heading_error: 0.35,
+            half_width: 1.6,
+            progress: 0.0,
+        };
+        let mut lat_sum = 0.0;
+        let mut yaw_sum = 0.0;
+        for _ in 0..200 {
+            match app.command_from(trail) {
+                AppMessage::Command {
+                    lateral, yaw_rate, ..
+                } => {
+                    lat_sum += lateral;
+                    yaw_sum += yaw_rate;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(lat_sum < 0.0, "lateral correction sum {lat_sum}");
+        assert!(yaw_sum < 0.0, "yaw correction sum {yaw_sum}");
+    }
+
+    #[test]
+    fn bigger_models_command_sharper_corrections() {
+        let rng = SimRng::new(6);
+        let trail = TrailInfo {
+            lateral_offset: -1.2,
+            heading_error: -0.35,
+            half_width: 1.6,
+            progress: 0.0,
+        };
+        let mean_yaw = |model| {
+            let (mut app, _) =
+                TrailNavApp::new(ControllerChoice::Static(model), true, 3.0, &rng);
+            let mut sum = 0.0;
+            for _ in 0..300 {
+                if let AppMessage::Command { yaw_rate, .. } = app.command_from(trail) {
+                    sum += yaw_rate;
+                }
+            }
+            sum / 300.0
+        };
+        let small = mean_yaw(DnnModel::ResNet6);
+        let large = mean_yaw(DnnModel::ResNet34);
+        assert!(
+            large > small + 0.1,
+            "ResNet34 correction {large} vs ResNet6 {small}"
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! The mission runner: one closed-loop flight, configured end to end.
+//!
+//! A mission wires the full Figure 3 stack together — environment
+//! ([`rose_envsim::UavSim`] + [`rose_flightctl::SimpleFlight`]), hardware
+//! ([`rose_socsim::Soc`] running a [`crate::app::TrailNavApp`]), and the
+//! lockstep [`rose_bridge::Synchronizer`] — runs it until the UAV reaches
+//! the goal (or times out), and reports the paper's quantitative metrics:
+//! mission time, average flight velocity, collision count, inference
+//! latency, and accelerator activity factor.
+
+use crate::app::{AppMetrics, ControlGains, ControllerChoice, TrailNavApp};
+use crate::envside::CoSimEnv;
+use crate::rtlside::SocRtl;
+use parking_lot::Mutex;
+use rose_bridge::sync::{SyncConfig, SyncStats, Synchronizer};
+use rose_dnn::DnnModel;
+use rose_envsim::uav::{TrajectoryPoint, UavSim, UavSimConfig};
+use rose_envsim::world::{World, WorldKind};
+use rose_flightctl::SimpleFlight;
+use rose_sim_core::cycles::{FrameSpec, SyncRatio};
+use rose_sim_core::csv::CsvLog;
+use rose_sim_core::rng::SimRng;
+use rose_socsim::soc::SocStats;
+use rose_socsim::{Soc, SocConfig};
+use std::sync::Arc;
+
+/// Full configuration of one mission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionConfig {
+    /// The SoC under evaluation (Table 2).
+    pub soc: SocConfig,
+    /// Controller selection (static DNN or dynamic runtime).
+    pub controller: ControllerChoice,
+    /// The environment (Figure 9).
+    pub world: WorldKind,
+    /// Forward velocity target in m/s.
+    pub velocity: f64,
+    /// Initial heading relative to the corridor, degrees (Figure 10 uses
+    /// −20°, 0°, +20°).
+    pub initial_yaw_deg: f64,
+    /// Environment frame rate.
+    pub frame_hz: u32,
+    /// Frames per synchronization period (granularity of Figures 15/16).
+    pub frames_per_sync: u64,
+    /// Deterministic seed for all stochastic components.
+    pub seed: u64,
+    /// Wall on simulated time; missions that have not reached the goal by
+    /// then report `completed = false`.
+    pub max_sim_seconds: f64,
+    /// Controller gains (Equation 2).
+    pub gains: ControlGains,
+}
+
+impl Default for MissionConfig {
+    fn default() -> MissionConfig {
+        MissionConfig {
+            soc: SocConfig::config_a(),
+            controller: ControllerChoice::Static(DnnModel::ResNet14),
+            world: WorldKind::Tunnel,
+            velocity: 3.0,
+            initial_yaw_deg: 0.0,
+            frame_hz: 60,
+            frames_per_sync: 1,
+            seed: 0x0520_2306,
+            max_sim_seconds: 90.0,
+            gains: ControlGains::default(),
+        }
+    }
+}
+
+/// The outcome of one mission.
+#[derive(Debug, Clone)]
+pub struct MissionReport {
+    /// True if the UAV crossed the goal plane before the time limit.
+    pub completed: bool,
+    /// Simulated seconds to goal (`None` if not completed).
+    pub mission_time_s: Option<f64>,
+    /// Total simulated seconds executed.
+    pub sim_time_s: f64,
+    /// Collision events during the flight.
+    pub collisions: u32,
+    /// Average flight velocity along the corridor (goal distance over
+    /// mission time), m/s; 0 if not completed.
+    pub avg_velocity: f64,
+    /// Per-frame trajectory.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Inferences completed.
+    pub inference_count: u64,
+    /// Mean image-request → command latency in milliseconds (Figure 16c).
+    pub mean_latency_ms: f64,
+    /// Fraction of inferences served by the fast network (dynamic only).
+    pub fast_fraction: f64,
+    /// Accelerator activity factor (Section 5.3 / Figure 13).
+    pub activity_factor: f64,
+    /// Mission energy (first-order model, see `rose_socsim::energy`).
+    pub energy: rose_socsim::energy::EnergyReport,
+    /// Raw SoC counters.
+    pub soc_stats: SocStats,
+    /// Synchronizer counters (throughput for Figure 15).
+    pub sync_stats: SyncStats,
+}
+
+impl MissionReport {
+    /// Dumps the trajectory as a CSV table (`t,x,y,z,vx,vy,vz,yaw,collision`),
+    /// matching the synchronizer CSV logs of the artifact.
+    pub fn trajectory_csv(&self) -> CsvLog {
+        let mut log = CsvLog::new(&["t", "x", "y", "z", "vx", "vy", "vz", "yaw", "collision"]);
+        for p in &self.trajectory {
+            log.row(&[
+                p.t,
+                p.position.x,
+                p.position.y,
+                p.position.z,
+                p.velocity.x,
+                p.velocity.y,
+                p.velocity.z,
+                p.yaw,
+                p.in_collision as u8 as f64,
+            ]);
+        }
+        log
+    }
+}
+
+/// Builds and runs one mission to completion (goal or timeout).
+pub fn run_mission(config: &MissionConfig) -> MissionReport {
+    let (mut sync, metrics) = build_mission(config);
+    let frames_per_sync = config.frames_per_sync;
+    let max_syncs =
+        (config.max_sim_seconds * config.frame_hz as f64 / frames_per_sync as f64).ceil() as u64;
+    sync.run_until(max_syncs, |env, _| env.sim().mission_complete());
+    finish_report(config, sync, &metrics)
+}
+
+/// Constructs the full co-simulation for `config` without running it
+/// (exposed for benches that need custom stepping).
+pub fn build_mission(
+    config: &MissionConfig,
+) -> (
+    Synchronizer<CoSimEnv, SocRtl>,
+    Arc<Mutex<AppMetrics>>,
+) {
+    let (env, rtl, sync_config, metrics) = mission_parts(config);
+    (Synchronizer::new(sync_config, env, rtl), metrics)
+}
+
+/// Constructs the mission's endpoints without a synchronizer — used by
+/// deployments that place the RTL side behind a transport (the paper's
+/// TCP configuration, exercised by the Figure 15 throughput benchmark).
+pub fn mission_parts(
+    config: &MissionConfig,
+) -> (CoSimEnv, SocRtl, SyncConfig, Arc<Mutex<AppMetrics>>) {
+    let rng = SimRng::new(config.seed);
+    let (mut app, metrics) = TrailNavApp::new(
+        config.controller,
+        config.soc.has_accelerator(),
+        config.velocity,
+        &rng,
+    );
+    app.set_gains(config.gains);
+    let (env, rtl, sync_config) = mission_parts_with_program(config, Box::new(app));
+    (env, rtl, sync_config, metrics)
+}
+
+/// Constructs the mission's endpoints around an arbitrary target program
+/// (e.g. the classical MPC workload of [`crate::mpc`]).
+pub fn mission_parts_with_program(
+    config: &MissionConfig,
+    program: Box<dyn rose_socsim::TargetProgram>,
+) -> (CoSimEnv, SocRtl, SyncConfig) {
+    let rng = SimRng::new(config.seed);
+    let world = World::of_kind(config.world);
+
+    // Environment + software-in-the-loop flight controller (Figure 7).
+    let uav_config = UavSimConfig {
+        frames: FrameSpec::from_hz(config.frame_hz),
+        start_yaw: config.initial_yaw_deg.to_radians(),
+        ..UavSimConfig::default()
+    };
+    let autopilot = SimpleFlight::default_for(uav_config.quad);
+    let mut sim = UavSim::new(uav_config, world, Box::new(autopilot), &rng);
+    // The mission's velocity target is active from launch; the DNN
+    // controller refines lateral/angular targets once inferences arrive
+    // (so high-latency SoCs fly uncorrected at speed, as in Figure 10c).
+    sim.handle(rose_envsim::api::SimRequest::SetVelocityTarget(
+        rose_envsim::api::VelocityTarget::forward(config.velocity),
+    ));
+    let env = CoSimEnv::new(sim);
+
+    // Companion-computer SoC running the target application.
+    let soc = Soc::new(config.soc.clone(), program);
+    let rtl = SocRtl::new(soc);
+
+    let ratio = SyncRatio::new(config.soc.clock, FrameSpec::from_hz(config.frame_hz));
+    let sync_config = SyncConfig::new(ratio, config.frames_per_sync);
+    (env, rtl, sync_config)
+}
+
+/// Runs a mission with a best-effort telemetry task time-sharing the
+/// companion core with the control loop (the multi-tenant scenario the
+/// paper motivates in §1). Returns the mission report plus the number of
+/// telemetry blocks the background task processed.
+pub fn run_mission_multitenant(
+    config: &MissionConfig,
+    sharing: rose_socsim::multitenant::TimeSharedConfig,
+    telemetry_block_bytes: usize,
+) -> (MissionReport, u64) {
+    use rose_socsim::multitenant::{TelemetryTask, TimeShared};
+
+    let rng = SimRng::new(config.seed);
+    let (mut app, metrics) = TrailNavApp::new(
+        config.controller,
+        config.soc.has_accelerator(),
+        config.velocity,
+        &rng,
+    );
+    app.set_gains(config.gains);
+    let (telemetry, loops) = TelemetryTask::new(telemetry_block_bytes);
+    let shared = TimeShared::new(Box::new(app), Box::new(telemetry), sharing);
+    let (env, rtl, sync_config) = mission_parts_with_program(config, Box::new(shared));
+    let mut sync = Synchronizer::new(sync_config, env, rtl);
+    let max_syncs =
+        (config.max_sim_seconds * config.frame_hz as f64 / config.frames_per_sync as f64).ceil()
+            as u64;
+    sync.run_until(max_syncs, |env, _| env.sim().mission_complete());
+    let report = finish_report(config, sync, &metrics);
+    let processed = loops.load(std::sync::atomic::Ordering::Relaxed);
+    (report, processed)
+}
+
+/// Extracts the report after a run (exposed for benches).
+pub fn finish_report(
+    config: &MissionConfig,
+    sync: Synchronizer<CoSimEnv, SocRtl>,
+    metrics: &Mutex<AppMetrics>,
+) -> MissionReport {
+    let sync_stats = *sync.stats();
+    let (env, rtl) = sync.into_parts();
+    let sim = env.into_sim();
+    let soc = rtl.into_soc();
+    let soc_stats = soc.stats();
+    let m = metrics.lock();
+
+    let completed = sim.mission_complete();
+    let mission_time = completed.then(|| sim.time());
+    let goal = sim.world().goal_x();
+    let clock_hz = config.soc.clock.hz() as f64;
+    MissionReport {
+        completed,
+        mission_time_s: mission_time,
+        sim_time_s: sim.time(),
+        collisions: sim.collision_count(),
+        avg_velocity: mission_time.map_or(0.0, |t| if t > 0.0 { goal / t } else { 0.0 }),
+        trajectory: sim.trajectory().to_vec(),
+        inference_count: m.inferences,
+        mean_latency_ms: m.mean_latency_cycles() / clock_hz * 1e3,
+        fast_fraction: if m.inferences == 0 {
+            0.0
+        } else {
+            m.fast_inferences as f64 / m.inferences as f64
+        },
+        activity_factor: soc_stats.activity_factor(),
+        energy: rose_socsim::energy::energy_of(&soc_stats, &config.soc),
+        soc_stats,
+        sync_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_mission_produces_consistent_report() {
+        let config = MissionConfig {
+            max_sim_seconds: 3.0,
+            ..MissionConfig::default()
+        };
+        let report = run_mission(&config);
+        assert!(!report.completed, "3 s is not enough for 50 m at 3 m/s");
+        assert_eq!(report.trajectory.len(), 180); // 3 s at 60 fps
+        assert!(report.sim_time_s >= 3.0);
+        assert!(report.inference_count >= 1, "at least one control update");
+        assert!(report.mean_latency_ms > 50.0, "latency includes inference");
+        assert!(report.activity_factor > 0.0);
+        // The UAV should be moving forward by the end.
+        let last = report.trajectory.last().unwrap();
+        assert!(last.position.x > 1.0, "x = {}", last.position.x);
+    }
+
+    #[test]
+    fn deterministic_missions() {
+        let config = MissionConfig {
+            max_sim_seconds: 2.0,
+            ..MissionConfig::default()
+        };
+        let a = run_mission(&config);
+        let b = run_mission(&config);
+        let pa = a.trajectory.last().unwrap().position;
+        let pb = b.trajectory.last().unwrap().position;
+        assert_eq!(pa, pb, "same seed must reproduce the trajectory");
+        assert_eq!(a.inference_count, b.inference_count);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let base = MissionConfig {
+            max_sim_seconds: 2.0,
+            ..MissionConfig::default()
+        };
+        let a = run_mission(&base);
+        let b = run_mission(&MissionConfig {
+            seed: 999,
+            ..base.clone()
+        });
+        let pa = a.trajectory.last().unwrap().position;
+        let pb = b.trajectory.last().unwrap().position;
+        assert_ne!(pa, pb, "different seeds should perturb the flight");
+    }
+
+    #[test]
+    fn trajectory_csv_has_all_frames() {
+        let config = MissionConfig {
+            max_sim_seconds: 1.0,
+            ..MissionConfig::default()
+        };
+        let report = run_mission(&config);
+        let csv = report.trajectory_csv();
+        assert_eq!(csv.len(), report.trajectory.len());
+        assert_eq!(csv.header()[0], "t");
+        let xs = csv.column("x").unwrap();
+        assert!(xs.last().unwrap() >= &0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal CSV log writing.
+//!
+//! The RoSÉ artifact emits CSV logs from the synchronizer tracking UAV
+//! dynamics, sensing requests, and control targets (Artifact §A.2). This
+//! module provides the same capability without an external dependency.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An in-memory CSV table with a fixed header.
+///
+/// # Example
+///
+/// ```
+/// use rose_sim_core::csv::CsvLog;
+///
+/// let mut log = CsvLog::new(&["t", "x", "y"]);
+/// log.row(&[0.0, 1.0, 2.0]);
+/// log.row(&[0.1, 1.5, 2.5]);
+/// assert_eq!(log.len(), 2);
+/// let text = log.to_csv_string();
+/// assert!(text.starts_with("t,x,y\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvLog {
+    header: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl CsvLog {
+    /// Creates an empty table with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: &[&str]) -> CsvLog {
+        assert!(!header.is_empty(), "CSV log needs at least one column");
+        CsvLog {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.header.len(),
+            "CSV row width {} != header width {}",
+            values.len(),
+            self.header.len()
+        );
+        self.rows.push(values.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Returns one column by name, or `None` if it does not exist.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.header.iter().position(|h| h == name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Serializes the table to CSV text.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let mut first = true;
+            for v in row {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_to<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(self.to_csv_string().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let mut log = CsvLog::new(&["a", "b"]);
+        log.row(&[1.0, 2.5]);
+        log.row(&[-3.0, 0.0]);
+        assert_eq!(log.to_csv_string(), "a,b\n1,2.5\n-3,0\n");
+    }
+
+    #[test]
+    fn column_extraction() {
+        let mut log = CsvLog::new(&["t", "y"]);
+        log.row(&[0.0, 5.0]);
+        log.row(&[1.0, 6.0]);
+        assert_eq!(log.column("y"), Some(vec![5.0, 6.0]));
+        assert_eq!(log.column("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        CsvLog::new(&["a"]).row(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Strongly-typed simulation time.
+//!
+//! The co-simulation couples two clock domains:
+//!
+//! * the SoC simulator advances in **clock cycles** (the minimum unit of time
+//!   in an RTL simulation), and
+//! * the environment simulator advances in **frames** (one physics +
+//!   rendering step).
+//!
+//! The paper's Equation 1 fixes the ratio between the two:
+//!
+//! ```text
+//! airsim_steps / firesim_steps = soc_clock_freq / airsim_frame_freq
+//! ```
+//!
+//! [`SyncRatio`] encodes that relation and is the single source of truth for
+//! converting between domains.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A count of SoC clock cycles.
+///
+/// `Cycle` is an absolute position on the SoC timeline (cycle 0 is reset).
+/// Arithmetic is saturating-free: overflowing a `u64` cycle counter at 1 GHz
+/// would take ~585 years of simulated time, so plain addition is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero cycle (reset).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the raw cycle count.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Number of cycles from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("Cycle::since called with a later cycle")
+    }
+
+    /// Converts this absolute cycle count to seconds under `clock`.
+    pub fn to_seconds(self, clock: ClockSpec) -> f64 {
+        self.0 as f64 / clock.hz() as f64
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// A count of environment simulator frames.
+///
+/// One frame corresponds to one physics + rendering step of the environment
+/// simulator (the minimum time period of the AirSim-side domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Frame(pub u64);
+
+impl Frame {
+    /// Frame zero (simulation start).
+    pub const ZERO: Frame = Frame(0);
+
+    /// Returns the raw frame count.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts this absolute frame count to seconds under `frames`.
+    pub fn to_seconds(self, frames: FrameSpec) -> f64 {
+        self.0 as f64 / frames.hz() as f64
+    }
+}
+
+impl Add<u64> for Frame {
+    type Output = Frame;
+    fn add(self, rhs: u64) -> Frame {
+        Frame(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Frame {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame {}", self.0)
+    }
+}
+
+/// The clock frequency of the simulated SoC.
+///
+/// A property of the physical SoC being designed (Section 3.4.1); the default
+/// target used throughout the paper's evaluation is 1 GHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClockSpec {
+    hz: u64,
+}
+
+impl ClockSpec {
+    /// Creates a clock specification from a frequency in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub fn from_hz(hz: u64) -> ClockSpec {
+        assert!(hz > 0, "clock frequency must be nonzero");
+        ClockSpec { hz }
+    }
+
+    /// Creates a clock specification from a frequency in megahertz.
+    pub fn from_mhz(mhz: u64) -> ClockSpec {
+        ClockSpec::from_hz(mhz * 1_000_000)
+    }
+
+    /// The frequency in hertz.
+    pub fn hz(self) -> u64 {
+        self.hz
+    }
+
+    /// Converts a duration in seconds to a whole number of cycles (floor).
+    pub fn cycles_in(self, seconds: f64) -> u64 {
+        (seconds * self.hz as f64) as u64
+    }
+}
+
+impl Default for ClockSpec {
+    /// 1 GHz, the paper's modeled SoC frequency.
+    fn default() -> ClockSpec {
+        ClockSpec::from_hz(1_000_000_000)
+    }
+}
+
+impl fmt::Display for ClockSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.hz % 1_000_000 == 0 {
+            write!(f, "{} MHz", self.hz / 1_000_000)
+        } else {
+            write!(f, "{} Hz", self.hz)
+        }
+    }
+}
+
+/// The physics/render update rate of the environment simulator.
+///
+/// A tunable simulation parameter (typically 60–120 Hz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameSpec {
+    hz: u32,
+}
+
+impl FrameSpec {
+    /// Creates a frame-rate specification from a rate in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub fn from_hz(hz: u32) -> FrameSpec {
+        assert!(hz > 0, "frame rate must be nonzero");
+        FrameSpec { hz }
+    }
+
+    /// The frame rate in hertz.
+    pub fn hz(self) -> u32 {
+        self.hz
+    }
+
+    /// The simulated duration of one frame in seconds.
+    pub fn dt(self) -> f64 {
+        1.0 / self.hz as f64
+    }
+}
+
+impl Default for FrameSpec {
+    /// 60 Hz, the typical environment update rate.
+    fn default() -> FrameSpec {
+        FrameSpec::from_hz(60)
+    }
+}
+
+impl fmt::Display for FrameSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fps", self.hz)
+    }
+}
+
+/// The lockstep ratio between the two clock domains (Equation 1).
+///
+/// One environment frame corresponds to `cycles_per_frame()` SoC cycles. A
+/// synchronization period is expressed as `(frames, frames *
+/// cycles_per_frame)` so both simulators observe events at corresponding
+/// simulation times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SyncRatio {
+    clock: ClockSpec,
+    frames: FrameSpec,
+}
+
+impl SyncRatio {
+    /// Builds the ratio for a given SoC clock and environment frame rate.
+    pub fn new(clock: ClockSpec, frames: FrameSpec) -> SyncRatio {
+        SyncRatio { clock, frames }
+    }
+
+    /// SoC clock specification.
+    pub fn clock(self) -> ClockSpec {
+        self.clock
+    }
+
+    /// Environment frame specification.
+    pub fn frames(self) -> FrameSpec {
+        self.frames
+    }
+
+    /// Whole SoC cycles corresponding to one environment frame (floor).
+    ///
+    /// E.g. a 1 GHz SoC at 60 fps gives 16,666,666 cycles per frame.
+    pub fn cycles_per_frame(self) -> u64 {
+        self.clock.hz() / self.frames.hz() as u64
+    }
+
+    /// SoC cycles corresponding to `n` environment frames.
+    pub fn cycles_for_frames(self, n: u64) -> u64 {
+        self.cycles_per_frame() * n
+    }
+
+    /// Number of whole frames covered by `cycles` (floor).
+    pub fn frames_for_cycles(self, cycles: u64) -> u64 {
+        cycles / self.cycles_per_frame()
+    }
+}
+
+impl Default for SyncRatio {
+    fn default() -> SyncRatio {
+        SyncRatio::new(ClockSpec::default(), FrameSpec::default())
+    }
+}
+
+/// A unified view of simulation time, tracking both domains.
+///
+/// `SimTime` is advanced only by the synchronizer, which guarantees that the
+/// two counters always satisfy the lockstep invariant within one sync period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimTime {
+    /// Current SoC cycle.
+    pub cycle: Cycle,
+    /// Current environment frame.
+    pub frame: Frame,
+}
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime {
+        cycle: Cycle::ZERO,
+        frame: Frame::ZERO,
+    };
+
+    /// Advances both domains by one synchronization period.
+    pub fn advance(&mut self, frames: u64, cycles: u64) {
+        self.frame += frames;
+        self.cycle += cycles;
+    }
+
+    /// Simulated seconds elapsed, measured on the SoC clock.
+    pub fn seconds(self, ratio: SyncRatio) -> f64 {
+        self.cycle.to_seconds(ratio.clock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle(100);
+        let b = a + 50;
+        assert_eq!(b, Cycle(150));
+        assert_eq!(b - a, 50);
+        assert_eq!(b.since(a), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "later cycle")]
+    fn cycle_since_panics_backwards() {
+        let _ = Cycle(10).since(Cycle(20));
+    }
+
+    #[test]
+    fn equation_1_ratio() {
+        // Paper Figure 6: 1 GHz SoC, 60 fps -> sync every ~16M cycles.
+        let ratio = SyncRatio::new(ClockSpec::from_hz(1_000_000_000), FrameSpec::from_hz(60));
+        assert_eq!(ratio.cycles_per_frame(), 16_666_666);
+        assert_eq!(ratio.cycles_for_frames(60), 999_999_960);
+    }
+
+    #[test]
+    fn frames_for_cycles_is_floor() {
+        let ratio = SyncRatio::new(ClockSpec::from_hz(100), FrameSpec::from_hz(10));
+        assert_eq!(ratio.cycles_per_frame(), 10);
+        assert_eq!(ratio.frames_for_cycles(99), 9);
+        assert_eq!(ratio.frames_for_cycles(100), 10);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let clock = ClockSpec::from_mhz(500);
+        assert_eq!(Cycle(500_000_000).to_seconds(clock), 1.0);
+        assert_eq!(clock.cycles_in(0.5), 250_000_000);
+    }
+
+    #[test]
+    fn sim_time_advance() {
+        let ratio = SyncRatio::default();
+        let mut t = SimTime::ZERO;
+        t.advance(1, ratio.cycles_per_frame());
+        assert_eq!(t.frame, Frame(1));
+        assert_eq!(t.cycle, Cycle(16_666_666));
+        assert!((t.seconds(ratio) - 1.0 / 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ClockSpec::from_mhz(1000).to_string(), "1000 MHz");
+        assert_eq!(FrameSpec::from_hz(60).to_string(), "60 fps");
+        assert_eq!(Cycle(5).to_string(), "5 cyc");
+        assert_eq!(Frame(5).to_string(), "frame 5");
+    }
+}

@@ -1,0 +1,499 @@
+//! The memory system: set-associative caches, DRAM, and the shared bus.
+//!
+//! The hierarchy is the usual Chipyard/Rocket-chip shape: private L1 data
+//! cache, shared L2, DRAM behind a 128-bit system bus. The accelerator's
+//! DMA engine and the CPU's cache refills share the bus, so sustained DMA
+//! traffic inflates CPU miss latency and vice versa — the system-level
+//! resource contention the paper argues isolated accelerator benchmarks
+//! miss (Section 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero or non-dividing sizes).
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.ways > 0 && self.line_bytes > 0,
+            "degenerate cache geometry"
+        );
+        let sets = self.size_bytes / (self.ways * self.line_bytes);
+        assert!(sets > 0, "cache smaller than one set");
+        sets
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]` (0 if no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// For each set, the resident tags ordered most- to least-recently used.
+    sets: Vec<Vec<(u64, bool)>>, // (tag, dirty)
+    stats: CacheStats,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            stats: CacheStats::default(),
+            set_mask: (sets - 1) as u64,
+            line_shift: config.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// Cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Performs one access; returns `true` on a hit. On a miss the line is
+    /// installed, possibly writing back a dirty victim.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, dirty) = set.remove(pos);
+            set.insert(0, (t, dirty || write));
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() == self.config.ways {
+            let (_, dirty) = set.pop().expect("nonempty set");
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        set.insert(0, (tag, write));
+        false
+    }
+
+    /// Invalidates all contents (e.g. after DMA writes to memory).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+/// Memory system timing and geometry parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles (load-to-use).
+    pub l1_latency: u64,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// DRAM access latency in cycles (row activation + CAS).
+    pub dram_latency: u64,
+    /// System bus width in bytes per cycle (128-bit = 16 B).
+    pub bus_bytes_per_cycle: f64,
+    /// DRAM sustained bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Latency of one uncached MMIO word access in cycles.
+    pub mmio_latency: u64,
+    /// Enables the L2 stream prefetcher (ablation knob).
+    pub prefetch: bool,
+}
+
+impl Default for MemConfig {
+    /// Parameters representative of a 1 GHz embedded SoC with LPDDR4.
+    fn default() -> MemConfig {
+        MemConfig {
+            l1d: CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                ways: 8,
+                line_bytes: 64,
+            },
+            l1_latency: 2,
+            l2_latency: 14,
+            dram_latency: 90,
+            bus_bytes_per_cycle: 16.0,
+            dram_bytes_per_cycle: 12.8,
+            mmio_latency: 40,
+            prefetch: true,
+        }
+    }
+}
+
+/// The shared system bus: tracks the fraction of bandwidth reserved by the
+/// accelerator's DMA engine so concurrent CPU misses see queueing delay.
+#[derive(Debug, Clone, Default)]
+pub struct Bus {
+    /// Fraction of bus bandwidth currently consumed by DMA, in `[0, 1)`.
+    dma_utilization: f64,
+    /// Total bytes moved over the bus (for bandwidth accounting).
+    total_bytes: u64,
+}
+
+impl Bus {
+    /// Creates an idle bus.
+    pub fn new() -> Bus {
+        Bus::default()
+    }
+
+    /// Sets the DMA background utilization (clamped below 0.95 so CPU
+    /// traffic always makes progress).
+    pub fn set_dma_utilization(&mut self, util: f64) {
+        self.dma_utilization = util.clamp(0.0, 0.95);
+    }
+
+    /// Current DMA background utilization.
+    pub fn dma_utilization(&self) -> f64 {
+        self.dma_utilization
+    }
+
+    /// Records bytes moved across the bus.
+    pub fn record_bytes(&mut self, bytes: u64) {
+        self.total_bytes += bytes;
+    }
+
+    /// Total traffic so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Queueing-inflated latency for a CPU transaction of `base` cycles
+    /// (M/M/1-style 1/(1-rho) inflation of the transfer portion).
+    pub fn contended(&self, base: u64) -> u64 {
+        (base as f64 / (1.0 - self.dma_utilization)).round() as u64
+    }
+}
+
+/// The full CPU-side memory hierarchy with timing.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    config: MemConfig,
+    l1d: Cache,
+    l2: Cache,
+    bus: Bus,
+    /// L2 stream prefetcher: last line seen per tracked stream.
+    prefetch_streams: [u64; 4],
+    prefetch_hits: u64,
+}
+
+impl MemSystem {
+    /// Creates an empty (cold) hierarchy.
+    pub fn new(config: MemConfig) -> MemSystem {
+        MemSystem {
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            bus: Bus::new(),
+            config,
+            prefetch_streams: [u64::MAX; 4],
+            prefetch_hits: 0,
+        }
+    }
+
+    /// Misses absorbed by the L2 stream prefetcher so far.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits
+    }
+
+    /// Memory parameters.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// The shared bus (accelerator DMA coordinates through this).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable bus access.
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// L1 data cache statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1d.stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Resets cache statistics.
+    pub fn reset_stats(&mut self) {
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+    }
+
+    /// Performs a load or store at `addr`, returning its latency in cycles.
+    ///
+    /// L1 hit → `l1_latency`; L1 miss, L2 hit → `l2_latency`; L2 miss →
+    /// DRAM latency plus the line transfer, inflated by bus contention.
+    pub fn access(&mut self, addr: u64, write: bool) -> u64 {
+        if self.l1d.access(addr, write) {
+            return self.config.l1_latency;
+        }
+        if self.l2.access(addr, write) {
+            return self.bus.contended(self.config.l2_latency);
+        }
+        let transfer =
+            (self.config.l1d.line_bytes as f64 / self.config.bus_bytes_per_cycle).ceil() as u64;
+        self.bus.record_bytes(self.config.l1d.line_bytes as u64);
+        // L2 stream prefetcher: a miss one line beyond a tracked stream was
+        // fetched ahead of time and costs only the L2 hit latency.
+        let line = addr / self.config.l1d.line_bytes as u64;
+        let mut prefetched = false;
+        if self.config.prefetch {
+            for stream in &mut self.prefetch_streams {
+                if line == stream.wrapping_add(1) {
+                    *stream = line;
+                    prefetched = true;
+                    break;
+                }
+            }
+        }
+        if prefetched {
+            self.prefetch_hits += 1;
+            return self.bus.contended(self.config.l2_latency + transfer);
+        }
+        // Allocate the stream table entry (round-robin by line hash).
+        self.prefetch_streams[(line % 4) as usize] = line;
+        self.config.dram_latency + self.bus.contended(self.config.l2_latency + transfer)
+    }
+
+    /// Latency of one uncached MMIO word access.
+    pub fn mmio_access(&self) -> u64 {
+        self.config.mmio_latency
+    }
+
+    /// Cycles for the accelerator's DMA engine to move `bytes` between
+    /// scratchpad and DRAM: one DRAM latency plus the bandwidth-limited
+    /// transfer over the narrower of bus and DRAM.
+    pub fn dma_cycles(&mut self, bytes: u64) -> u64 {
+        let bw = self
+            .config
+            .bus_bytes_per_cycle
+            .min(self.config.dram_bytes_per_cycle);
+        self.bus.record_bytes(bytes);
+        self.config.dram_latency + (bytes as f64 / bw).ceil() as u64
+    }
+
+    /// Invalidates CPU caches (used when DMA writes shared buffers).
+    pub fn invalidate(&mut self) {
+        self.l1d.flush();
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> Cache {
+        // 2 sets, 2 ways, 64 B lines = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn cache_hit_after_fill() {
+        let mut c = tiny_cache();
+        assert!(!c.access(0x1000, false)); // cold miss
+        assert!(c.access(0x1000, false)); // hit
+        assert!(c.access(0x1030, false)); // same line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny_cache();
+        // Three lines mapping to set 0 (set stride = 2 lines = 128 B).
+        let a = 0x0000;
+        let b = 0x0100;
+        let d = 0x0200;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is now MRU
+        c.access(d, false); // evicts b
+        assert!(c.access(a, false), "a should survive");
+        assert!(!c.access(b, false), "b was evicted");
+    }
+
+    #[test]
+    fn writeback_counted_for_dirty_victims() {
+        let mut c = tiny_cache();
+        c.access(0x0000, true); // dirty
+        c.access(0x0100, false);
+        c.access(0x0200, false); // evicts dirty 0x0000
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn hierarchy_latencies_are_ordered() {
+        let mut m = MemSystem::new(MemConfig::default());
+        let cold = m.access(0x4000, false);
+        let l1_hit = m.access(0x4000, false);
+        // Evict from L1 (16 KiB / 4-way: set stride 4 KiB, 4 ways) but stay
+        // in L2 by touching 4 conflicting lines.
+        for i in 1..=4 {
+            m.access(0x4000 + i * 4096, false);
+        }
+        let l2_hit = m.access(0x4000, false);
+        assert!(l1_hit < l2_hit, "{l1_hit} < {l2_hit}");
+        assert!(l2_hit < cold, "{l2_hit} < {cold}");
+        assert_eq!(l1_hit, MemConfig::default().l1_latency);
+    }
+
+    #[test]
+    fn contention_inflates_misses() {
+        let mut m = MemSystem::new(MemConfig::default());
+        let quiet = m.access(0x8000, false); // cold miss, idle bus
+        m.invalidate();
+        m.bus_mut().set_dma_utilization(0.8);
+        let busy = m.access(0x8000, false); // cold miss under DMA load
+        assert!(
+            busy > quiet + 10,
+            "contended miss {busy} should exceed quiet miss {quiet}"
+        );
+    }
+
+    #[test]
+    fn dma_is_bandwidth_limited() {
+        let mut m = MemSystem::new(MemConfig::default());
+        let small = m.dma_cycles(64);
+        let large = m.dma_cycles(64 * 1024);
+        // 64 KiB at 12.8 B/cyc ≈ 5120 cycles of transfer.
+        assert!(large > small + 4000, "large {large} small {small}");
+        assert!(m.bus().total_bytes() >= 64 + 64 * 1024);
+    }
+
+    #[test]
+    fn mmio_latency_fixed() {
+        let m = MemSystem::new(MemConfig::default());
+        assert_eq!(m.mmio_access(), 40);
+    }
+
+    #[test]
+    fn flush_forces_refill() {
+        let mut m = MemSystem::new(MemConfig::default());
+        m.access(0x100, false);
+        assert_eq!(m.access(0x100, false), MemConfig::default().l1_latency);
+        m.invalidate();
+        assert!(m.access(0x100, false) > MemConfig::default().l2_latency);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+
+    #[test]
+    fn streaming_misses_are_absorbed_by_the_prefetcher() {
+        let mut m = MemSystem::new(MemConfig::default());
+        for i in 0..1024u64 {
+            m.access(0x10_0000 + i * 64, false); // one access per line
+        }
+        // All but the stream-training misses hit the prefetcher.
+        assert!(
+            m.prefetch_hits() > 1000,
+            "prefetch hits {}",
+            m.prefetch_hits()
+        );
+    }
+
+    #[test]
+    fn random_misses_are_not_prefetched() {
+        let mut m = MemSystem::new(MemConfig::default());
+        let mut addr = 1u64;
+        for _ in 0..512 {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+            m.access(addr % (1 << 30), false);
+        }
+        assert!(
+            m.prefetch_hits() < 20,
+            "random pattern prefetched {} times",
+            m.prefetch_hits()
+        );
+    }
+
+    #[test]
+    fn prefetcher_can_be_disabled() {
+        let mut m = MemSystem::new(MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        });
+        for i in 0..256u64 {
+            m.access(i * 64, false);
+        }
+        assert_eq!(m.prefetch_hits(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Target programs: applications running on the simulated SoC.
+//!
+//! The simulated SoC must be oblivious to the fact that it is in a
+//! simulated environment (Section 3.4.2): it receives sensor data and
+//! performs actuation by communicating through I/O devices, with no access
+//! to simulation-level APIs. A [`TargetProgram`] expresses the application
+//! as a sequence of [`TargetOp`]s — receive a message from the RoSÉ I/O,
+//! run compute kernels on the CPU or accelerator, send a message — whose
+//! cycle costs are produced by the SoC's timing models.
+//!
+//! This is the transaction-level equivalent of the paper's RISC-V Linux
+//! binaries: the *structure* of the application (what it reads, computes,
+//! and writes, in what order, with data-dependent decisions) is preserved,
+//! while the instruction-stream timing comes from the kernel models.
+
+use crate::gemmini::ConvShape;
+use crate::kernel::Kernel;
+
+/// One operation issued by a target program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetOp {
+    /// Run a CPU kernel to completion.
+    CpuKernel(Kernel),
+    /// Run a convolution on the DNN accelerator.
+    ///
+    /// # Panics (at execution time)
+    ///
+    /// The SoC panics if it has no accelerator; programs must select CPU
+    /// kernels on accelerator-less configurations.
+    AccelConv(ConvShape),
+    /// Run a matmul on the DNN accelerator.
+    AccelMatmul {
+        /// Rows of A/C.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Columns of B/C.
+        n: usize,
+    },
+    /// Block until a message arrives from the RoSÉ bridge RX queue, then
+    /// read it through MMIO. The message is delivered via
+    /// [`ProgContext::take_message`] before the next `next_op` call.
+    Recv,
+    /// Write a message to the RoSÉ bridge TX queue through MMIO.
+    Send(Vec<u8>),
+    /// Idle for a fixed number of cycles (timer sleep).
+    Sleep(u64),
+    /// Terminate the program; the SoC idles forever after.
+    Halt,
+}
+
+/// Execution context handed to the program at each decision point.
+#[derive(Debug, Default)]
+pub struct ProgContext {
+    now: u64,
+    inbox: Option<Vec<u8>>,
+    rx_available: bool,
+}
+
+impl ProgContext {
+    /// Creates a context (used by the SoC executor).
+    pub fn new(now: u64, inbox: Option<Vec<u8>>) -> ProgContext {
+        ProgContext {
+            now,
+            inbox,
+            rx_available: false,
+        }
+    }
+
+    /// Sets the RX-queue status flag (builder style, used by the SoC).
+    pub fn with_rx_available(mut self, available: bool) -> ProgContext {
+        self.rx_available = available;
+        self
+    }
+
+    /// Current SoC cycle (the target's cycle counter CSR).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// True if the bridge RX queue has a message waiting (the status
+    /// register a scheduler polls before committing to a blocking read).
+    pub fn rx_available(&self) -> bool {
+        self.rx_available
+    }
+
+    /// Takes the message delivered by a completed [`TargetOp::Recv`].
+    pub fn take_message(&mut self) -> Option<Vec<u8>> {
+        self.inbox.take()
+    }
+}
+
+/// An application that runs on the simulated SoC.
+pub trait TargetProgram: Send {
+    /// Returns the next operation. Called exactly once after each completed
+    /// operation (and once at startup).
+    fn next_op(&mut self, ctx: &mut ProgContext) -> TargetOp;
+
+    /// A short name for logs and stats.
+    fn name(&self) -> &str {
+        "target-program"
+    }
+}
+
+/// A canned program replaying a fixed op list (useful in tests/benches).
+#[derive(Debug, Clone)]
+pub struct ScriptedProgram {
+    ops: std::vec::IntoIter<TargetOp>,
+    received: Vec<Vec<u8>>,
+}
+
+impl ScriptedProgram {
+    /// Creates a program that issues `ops` in order, then halts.
+    pub fn new(ops: Vec<TargetOp>) -> ScriptedProgram {
+        ScriptedProgram {
+            ops: ops.into_iter(),
+            received: Vec::new(),
+        }
+    }
+
+    /// Messages captured by completed `Recv` ops.
+    pub fn received(&self) -> &[Vec<u8>] {
+        &self.received
+    }
+}
+
+impl TargetProgram for ScriptedProgram {
+    fn next_op(&mut self, ctx: &mut ProgContext) -> TargetOp {
+        if let Some(msg) = ctx.take_message() {
+            self.received.push(msg);
+        }
+        self.ops.next().unwrap_or(TargetOp::Halt)
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_program_replays_then_halts() {
+        let mut p = ScriptedProgram::new(vec![TargetOp::Sleep(5), TargetOp::Recv]);
+        let mut ctx = ProgContext::new(0, None);
+        assert_eq!(p.next_op(&mut ctx), TargetOp::Sleep(5));
+        assert_eq!(p.next_op(&mut ctx), TargetOp::Recv);
+        let mut ctx = ProgContext::new(10, Some(vec![1]));
+        assert_eq!(p.next_op(&mut ctx), TargetOp::Halt);
+        assert_eq!(p.received(), &[vec![1u8]]);
+        // Halt forever.
+        assert_eq!(p.next_op(&mut ProgContext::default()), TargetOp::Halt);
+    }
+
+    #[test]
+    fn context_message_is_taken_once() {
+        let mut ctx = ProgContext::new(3, Some(vec![7]));
+        assert_eq!(ctx.now(), 3);
+        assert_eq!(ctx.take_message(), Some(vec![7]));
+        assert_eq!(ctx.take_message(), None);
+    }
+}

@@ -1,0 +1,468 @@
+//! The top-level SoC: cores, accelerator, memory, bridge, and the
+//! quantum-throttled execution engine.
+//!
+//! [`Soc::run_granted`] advances the SoC by whatever cycle budget the RoSÉ
+//! BRIDGE control unit currently grants, exactly like a FireSim simulation
+//! consuming host tokens: compute proceeds while budget remains, and the
+//! SoC stalls (burning simulated idle time) whenever it polls an empty I/O
+//! queue — the artificial latency mechanism measured in Figure 16.
+
+use crate::bridge::{BridgeHwConfig, BridgeHwStats, RoseBridgeHw};
+use crate::config::SocConfig;
+use crate::cpu::{CpuModel, CpuStats};
+use crate::gemmini::{AccelRun, ConvShape, GemminiModel};
+use crate::kernel::Kernel;
+use crate::mem::{CacheStats, MemSystem};
+use crate::program::{ProgContext, TargetOp, TargetProgram};
+use std::collections::HashMap;
+
+/// Aggregate SoC execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SocStats {
+    /// Total cycles the SoC has advanced.
+    pub cycles: u64,
+    /// Cycles spent stalled on I/O or halted.
+    pub idle_cycles: u64,
+    /// Cycles the accelerator was active.
+    pub accel_cycles: u64,
+    /// MACs performed by the accelerator.
+    pub accel_macs: u64,
+    /// CPU execution counters.
+    pub cpu: CpuStats,
+    /// L1 data cache counters.
+    pub l1: CacheStats,
+    /// L2 cache counters.
+    pub l2: CacheStats,
+    /// Bridge traffic counters.
+    pub bridge: BridgeHwStats,
+}
+
+impl SocStats {
+    /// The accelerator activity factor: the fraction of time the DNN
+    /// accelerator was actively executing layers (Section 5.3).
+    pub fn activity_factor(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.accel_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// An operation in flight, with its remaining cycle cost.
+#[derive(Debug)]
+struct Pending {
+    remaining: u64,
+    idle: bool,
+    effect: Effect,
+}
+
+#[derive(Debug)]
+enum Effect {
+    None,
+    Deliver(Vec<u8>),
+    PushTx(Vec<u8>),
+}
+
+/// The simulated SoC.
+pub struct Soc {
+    config: SocConfig,
+    cpu: CpuModel,
+    gemmini: Option<GemminiModel>,
+    mem: MemSystem,
+    bridge: RoseBridgeHw,
+    program: Box<dyn TargetProgram>,
+    now: u64,
+    idle_cycles: u64,
+    halted: bool,
+    pending: Option<Pending>,
+    /// An op returned by the program that could not issue yet (blocked
+    /// Recv / backpressured Send).
+    blocked: Option<TargetOp>,
+    inbox: Option<Vec<u8>>,
+    kernel_costs: HashMap<Kernel, (u64, u64)>,
+    conv_costs: HashMap<ConvShape, AccelRun>,
+    matmul_costs: HashMap<(usize, usize, usize), AccelRun>,
+}
+
+impl std::fmt::Debug for Soc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Soc")
+            .field("config", &self.config.name)
+            .field("now", &self.now)
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl Soc {
+    /// Builds an SoC of the given configuration running `program`.
+    pub fn new(config: SocConfig, program: Box<dyn TargetProgram>) -> Soc {
+        Soc {
+            cpu: CpuModel::new(config.cpu_config()),
+            gemmini: config.gemmini.map(GemminiModel::new),
+            mem: MemSystem::new(config.mem),
+            bridge: RoseBridgeHw::new(BridgeHwConfig::default()),
+            program,
+            now: 0,
+            idle_cycles: 0,
+            halted: false,
+            pending: None,
+            blocked: None,
+            inbox: None,
+            kernel_costs: HashMap::new(),
+            conv_costs: HashMap::new(),
+            matmul_costs: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The SoC configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Current SoC cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// True once the program has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Host-side access to the bridge (for the synchronizer driver).
+    pub fn bridge_mut(&mut self) -> &mut RoseBridgeHw {
+        &mut self.bridge
+    }
+
+    /// Execution statistics snapshot.
+    pub fn stats(&self) -> SocStats {
+        SocStats {
+            cycles: self.now,
+            idle_cycles: self.idle_cycles,
+            accel_cycles: self.gemmini.as_ref().map_or(0, |g| g.total_cycles()),
+            accel_macs: self.gemmini.as_ref().map_or(0, |g| g.total_macs()),
+            cpu: self.cpu.stats(),
+            l1: self.mem.l1_stats(),
+            l2: self.mem.l2_stats(),
+            bridge: self.bridge.stats(),
+        }
+    }
+
+    /// Cost in cycles of moving `bytes` through the bridge MMIO registers
+    /// (64-bit words, one uncached access each).
+    fn mmio_cost(&self, bytes: usize) -> u64 {
+        let words = bytes.div_ceil(8).max(1) as u64;
+        words * self.mem.mmio_access()
+    }
+
+    /// Cycle cost of a CPU kernel (cached: dense kernels are
+    /// data-independent, so each distinct shape is timed once; replays
+    /// re-account cycles and instructions in the core's counters).
+    fn cpu_cost(&mut self, kernel: Kernel) -> u64 {
+        if let Some(&(cycles, instrs)) = self.kernel_costs.get(&kernel) {
+            self.cpu.add_cached(cycles, instrs);
+            return cycles;
+        }
+        let before = self.cpu.stats().instrs;
+        let cycles = self.cpu.run_kernel(&kernel, &mut self.mem).max(1);
+        let instrs = self.cpu.stats().instrs - before;
+        self.kernel_costs.insert(kernel, (cycles, instrs));
+        cycles
+    }
+
+    fn accel(&mut self) -> &mut GemminiModel {
+        self.gemmini
+            .as_mut()
+            .expect("program issued an accelerator op on an SoC without an accelerator")
+    }
+
+    fn conv_cost(&mut self, shape: ConvShape) -> u64 {
+        if let Some(&run) = self.conv_costs.get(&shape) {
+            // Re-account activity for the cached run.
+            self.accel().add_activity(run.cycles, run.macs);
+            return run.cycles.max(1);
+        }
+        let gemmini = self
+            .gemmini
+            .as_mut()
+            .expect("program issued an accelerator op on an SoC without an accelerator");
+        let run = gemmini.conv(shape, &mut self.mem);
+        gemmini.release_bus(&mut self.mem);
+        self.conv_costs.insert(shape, run);
+        run.cycles.max(1)
+    }
+
+    fn matmul_cost(&mut self, m: usize, k: usize, n: usize) -> u64 {
+        if let Some(&run) = self.matmul_costs.get(&(m, k, n)) {
+            self.accel().add_activity(run.cycles, run.macs);
+            return run.cycles.max(1);
+        }
+        let gemmini = self
+            .gemmini
+            .as_mut()
+            .expect("program issued an accelerator op on an SoC without an accelerator");
+        let run = gemmini.matmul(m, k, n, &mut self.mem);
+        gemmini.release_bus(&mut self.mem);
+        self.matmul_costs.insert((m, k, n), run);
+        run.cycles.max(1)
+    }
+
+    /// Advances the SoC by exactly `cycles`, gated through the bridge
+    /// budget. Grants the budget first, then consumes it — the normal
+    /// synchronizer flow calls [`RoseBridgeHw::grant_cycles`] itself and
+    /// then [`Soc::run_granted`].
+    pub fn run_cycles(&mut self, cycles: u64) {
+        self.bridge.grant_cycles(cycles);
+        self.run_granted();
+    }
+
+    /// Runs until the bridge budget is exhausted.
+    pub fn run_granted(&mut self) {
+        loop {
+            let budget = self.bridge.budget();
+            if budget == 0 {
+                return;
+            }
+
+            // Finish or continue an in-flight operation.
+            if let Some(p) = &mut self.pending {
+                let take = p.remaining.min(budget);
+                p.remaining -= take;
+                self.bridge.consume_budget(take);
+                self.now += take;
+                if p.idle {
+                    self.idle_cycles += take;
+                }
+                if p.remaining > 0 {
+                    return; // budget exhausted mid-op
+                }
+                let done = self.pending.take().expect("pending op");
+                match done.effect {
+                    Effect::None => {}
+                    Effect::Deliver(msg) => self.inbox = Some(msg),
+                    Effect::PushTx(msg) => {
+                        if !self.bridge.target_send(msg.clone()) {
+                            // TX backpressure: retry as a blocked op.
+                            self.blocked = Some(TargetOp::Send(msg));
+                        }
+                    }
+                }
+                continue;
+            }
+
+            if self.halted {
+                // Idle out the remaining budget.
+                let take = self.bridge.consume_budget(budget);
+                self.now += take;
+                self.idle_cycles += take;
+                return;
+            }
+
+            // Issue the next operation (a previously blocked one first).
+            let op = match self.blocked.take() {
+                Some(op) => op,
+                None => {
+                    let mut ctx = ProgContext::new(self.now, self.inbox.take())
+                        .with_rx_available(self.bridge.target_rx_depth() > 0);
+                    self.program.next_op(&mut ctx)
+                }
+            };
+            match op {
+                TargetOp::CpuKernel(k) => {
+                    let cost = self.cpu_cost(k);
+                    self.pending = Some(Pending {
+                        remaining: cost,
+                        idle: false,
+                        effect: Effect::None,
+                    });
+                }
+                TargetOp::AccelConv(shape) => {
+                    let cost = self.conv_cost(shape);
+                    self.pending = Some(Pending {
+                        remaining: cost,
+                        idle: false,
+                        effect: Effect::None,
+                    });
+                }
+                TargetOp::AccelMatmul { m, k, n } => {
+                    let cost = self.matmul_cost(m, k, n);
+                    self.pending = Some(Pending {
+                        remaining: cost,
+                        idle: false,
+                        effect: Effect::None,
+                    });
+                }
+                TargetOp::Recv => match self.bridge.target_try_recv() {
+                    Some(msg) => {
+                        let cost = self.mmio_cost(msg.len());
+                        self.pending = Some(Pending {
+                            remaining: cost,
+                            idle: false,
+                            effect: Effect::Deliver(msg),
+                        });
+                    }
+                    None => {
+                        // Nothing can arrive within this quantum: the SoC
+                        // spins on the empty-queue status register until
+                        // the next synchronization (Section 5.5).
+                        self.blocked = Some(TargetOp::Recv);
+                        let take = self.bridge.consume_budget(budget);
+                        self.now += take;
+                        self.idle_cycles += take;
+                        return;
+                    }
+                },
+                TargetOp::Send(msg) => {
+                    let cost = self.mmio_cost(msg.len());
+                    self.pending = Some(Pending {
+                        remaining: cost,
+                        idle: false,
+                        effect: Effect::PushTx(msg),
+                    });
+                }
+                TargetOp::Sleep(cycles) => {
+                    self.pending = Some(Pending {
+                        remaining: cycles.max(1),
+                        idle: true,
+                        effect: Effect::None,
+                    });
+                }
+                TargetOp::Halt => {
+                    self.halted = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use crate::program::ScriptedProgram;
+
+    fn scripted_soc(ops: Vec<TargetOp>) -> Soc {
+        Soc::new(SocConfig::config_a(), Box::new(ScriptedProgram::new(ops)))
+    }
+
+    #[test]
+    fn quantum_boundaries_are_respected() {
+        let mut soc = scripted_soc(vec![TargetOp::Sleep(1000)]);
+        soc.run_cycles(300);
+        assert_eq!(soc.now(), 300);
+        soc.run_cycles(300);
+        assert_eq!(soc.now(), 600);
+        soc.run_cycles(1000);
+        assert_eq!(soc.now(), 1600);
+        assert!(soc.halted());
+    }
+
+    #[test]
+    fn recv_blocks_until_data_arrives() {
+        let mut soc = scripted_soc(vec![TargetOp::Recv, TargetOp::Send(vec![42])]);
+        soc.run_cycles(10_000);
+        // No data: the whole quantum burned idle.
+        assert_eq!(soc.now(), 10_000);
+        assert!(soc.stats().idle_cycles >= 10_000);
+        assert!(soc.bridge_mut().host_drain_tx().is_empty());
+
+        // Deliver data; the SoC reads it and replies within the quantum.
+        soc.bridge_mut().host_push_rx(vec![1, 2, 3, 4]);
+        soc.run_cycles(10_000);
+        let tx = soc.bridge_mut().host_drain_tx();
+        assert_eq!(tx, vec![vec![42]]);
+    }
+
+    #[test]
+    fn compute_spans_quanta() {
+        let mut soc = scripted_soc(vec![
+            TargetOp::CpuKernel(Kernel::Memcpy { bytes: 1 << 16 }),
+            TargetOp::Send(vec![7]),
+        ]);
+        // Small quanta: the kernel takes multiple grants to finish.
+        let mut quanta = 0;
+        while soc.bridge_mut().host_drain_tx().is_empty() && quanta < 10_000 {
+            soc.run_cycles(1_000);
+            quanta += 1;
+        }
+        assert!(quanta > 2, "memcpy of 64 KiB should span >2k cycles");
+        assert!(!soc.halted() || quanta < 10_000);
+    }
+
+    #[test]
+    fn accel_ops_accumulate_activity() {
+        let mut soc = scripted_soc(vec![
+            TargetOp::AccelMatmul {
+                m: 64,
+                k: 64,
+                n: 64,
+            },
+            TargetOp::AccelMatmul {
+                m: 64,
+                k: 64,
+                n: 64,
+            },
+        ]);
+        soc.run_cycles(50_000_000);
+        let stats = soc.stats();
+        assert_eq!(stats.accel_macs, 2 * 64 * 64 * 64);
+        assert!(stats.accel_cycles > 0);
+        assert!(stats.activity_factor() > 0.0);
+    }
+
+    #[test]
+    fn cached_kernel_costs_are_stable() {
+        let k = Kernel::Memcpy { bytes: 4096 };
+        let mut soc = scripted_soc(vec![
+            TargetOp::CpuKernel(k),
+            TargetOp::Send(vec![1]),
+            TargetOp::CpuKernel(k),
+            TargetOp::Send(vec![2]),
+        ]);
+        soc.run_cycles(1_000_000);
+        assert!(soc.halted());
+        // Both invocations completed.
+        assert_eq!(soc.bridge_mut().host_drain_tx().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an accelerator")]
+    fn accel_op_on_cpu_only_soc_panics() {
+        let mut soc = Soc::new(
+            SocConfig::config_c(),
+            Box::new(ScriptedProgram::new(vec![TargetOp::AccelMatmul {
+                m: 4,
+                k: 4,
+                n: 4,
+            }])),
+        );
+        soc.run_cycles(1000);
+    }
+
+    #[test]
+    fn halted_soc_idles() {
+        let mut soc = scripted_soc(vec![]);
+        soc.run_cycles(500);
+        assert!(soc.halted());
+        assert_eq!(soc.stats().idle_cycles, 500);
+    }
+
+    #[test]
+    fn mmio_cost_scales_with_message_size() {
+        // Send a large and a small message; the large one takes longer.
+        let mut soc_small = scripted_soc(vec![TargetOp::Send(vec![0; 8])]);
+        soc_small.run_cycles(1_000_000);
+        let mut soc_large = scripted_soc(vec![TargetOp::Send(vec![0; 8192])]);
+        soc_large.run_cycles(1_000_000);
+        // Compare non-idle time.
+        let busy_small = soc_small.stats().cycles - soc_small.stats().idle_cycles;
+        let busy_large = soc_large.stats().cycles - soc_large.stats().idle_cycles;
+        assert!(
+            busy_large > busy_small * 100,
+            "large {busy_large} vs small {busy_small}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! A compact hardware x software design-space exploration (the Figure 14
+//! experiment): sweep DNN architectures across two SoCs and find each
+//! SoC's optimal design point.
+//!
+//! Run with: `cargo run --release --example design_space_sweep`
+
+use rose::app::ControllerChoice;
+use rose::mission::{run_mission, MissionConfig};
+use rose_dnn::DnnModel;
+use rose_envsim::WorldKind;
+use rose_socsim::SocConfig;
+
+fn main() {
+    for soc in [SocConfig::config_a(), SocConfig::config_b()] {
+        println!("\n=== {soc} ===");
+        let mut best: Option<(DnnModel, f64)> = None;
+        for model in DnnModel::all() {
+            let config = MissionConfig {
+                soc: soc.clone(),
+                world: WorldKind::SShape,
+                velocity: 9.0,
+                controller: ControllerChoice::Static(model),
+                max_sim_seconds: 60.0,
+                ..MissionConfig::default()
+            };
+            let r = run_mission(&config);
+            let time = r.mission_time_s.unwrap_or(f64::INFINITY);
+            // Penalize unsafe flights: a collision-free run always beats a
+            // colliding one.
+            let score = time + 10.0 * r.collisions as f64;
+            println!(
+                "  {model:<9} time={:>6.2}s collisions={:<3} latency={:>4.0}ms activity={:.3}",
+                time, r.collisions, r.mean_latency_ms, r.activity_factor
+            );
+            if best.is_none() || score < best.unwrap().1 {
+                best = Some((model, score));
+            }
+        }
+        println!("  -> optimal design point: {}", best.unwrap().0);
+    }
+    println!("\nRoSE reveals that the optimal DNN changes with the SoC architecture (Figure 14).");
+}

@@ -1,0 +1,19 @@
+//! Top-level umbrella crate for the RoSÉ reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency, and hosts [`dataset`], the §A.4.4-style training-data
+//! generator (rendered corridor images with randomized poses and class
+//! labels). See `README.md` for the architecture overview and `DESIGN.md`
+//! for the system inventory.
+
+#![deny(missing_docs)]
+
+pub mod dataset;
+
+pub use rose;
+pub use rose_bridge;
+pub use rose_dnn;
+pub use rose_envsim;
+pub use rose_flightctl;
+pub use rose_sim_core;
+pub use rose_socsim;

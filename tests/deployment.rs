@@ -1,0 +1,72 @@
+//! Deployment-equivalence tests: the co-simulation behaves identically
+//! whether the RTL side is in-process or behind a TCP transport (the
+//! paper's cloud/on-premise deployments, Table 4), because the lockstep
+//! protocol delivers data at the same sync boundaries either way.
+
+use rose::mission::{build_mission, mission_parts, MissionConfig};
+use rose_bridge::sync::{serve_rtl, RemoteRtl, Synchronizer};
+use rose_bridge::transport::TcpTransport;
+use std::net::TcpListener;
+use std::thread;
+
+fn run_remote(config: &MissionConfig, sim_seconds: f64) -> Vec<(f64, f64)> {
+    let (env, mut rtl, sync_config, _metrics) = mission_parts(config);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = thread::spawn(move || {
+        let mut transport = TcpTransport::accept(&listener).expect("accept");
+        serve_rtl(&mut transport, &mut rtl).expect("serve");
+    });
+    let remote = RemoteRtl::new(TcpTransport::connect(addr).expect("connect"));
+    let mut sync = Synchronizer::new(sync_config, env, remote);
+    sync.run_until(u64::MAX, |env, _| env.sim().time() >= sim_seconds);
+    let (env, remote) = sync.into_parts();
+    let trajectory = env
+        .sim()
+        .trajectory()
+        .iter()
+        .map(|p| (p.position.x, p.position.y))
+        .collect();
+    remote.shutdown().expect("shutdown");
+    server.join().expect("join");
+    trajectory
+}
+
+fn run_local(config: &MissionConfig, sim_seconds: f64) -> Vec<(f64, f64)> {
+    let (mut sync, _metrics) = build_mission(config);
+    sync.run_until(u64::MAX, |env, _| env.sim().time() >= sim_seconds);
+    let (env, _) = sync.into_parts();
+    env.sim()
+        .trajectory()
+        .iter()
+        .map(|p| (p.position.x, p.position.y))
+        .collect()
+}
+
+/// TCP and in-process deployments produce bit-identical trajectories.
+#[test]
+fn tcp_deployment_is_bit_identical_to_local() {
+    let config = MissionConfig {
+        max_sim_seconds: 4.0,
+        ..MissionConfig::default()
+    };
+    let local = run_local(&config, 4.0);
+    let remote = run_remote(&config, 4.0);
+    assert_eq!(local.len(), remote.len());
+    for (i, (l, r)) in local.iter().zip(&remote).enumerate() {
+        assert_eq!(l, r, "trajectories diverge at frame {i}");
+    }
+}
+
+/// The remote deployment still closes the control loop (commands arrive).
+#[test]
+fn tcp_deployment_closes_the_loop() {
+    let config = MissionConfig {
+        initial_yaw_deg: 20.0,
+        max_sim_seconds: 6.0,
+        ..MissionConfig::default()
+    };
+    let trajectory = run_remote(&config, 6.0);
+    let (x_last, _) = *trajectory.last().expect("nonempty trajectory");
+    assert!(x_last > 5.0, "UAV should be flying forward, x = {x_last}");
+}

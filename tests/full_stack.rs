@@ -1,0 +1,183 @@
+//! Full-stack integration tests: complete missions through the entire
+//! co-simulation (environment + flight controller + SoC + bridge +
+//! synchronizer), checking the paper's headline Section 5.1 results.
+
+use rose::app::ControllerChoice;
+use rose::mission::{run_mission, MissionConfig};
+use rose_dnn::DnnModel;
+use rose_socsim::SocConfig;
+
+/// Config A (BOOM+Gemmini) completes the tunnel from every initial angle
+/// without collisions (Figure 10 a).
+#[test]
+fn config_a_completes_tunnel_from_all_angles() {
+    for yaw in [-20.0, 0.0, 20.0] {
+        let config = MissionConfig {
+            initial_yaw_deg: yaw,
+            ..MissionConfig::default()
+        };
+        let report = run_mission(&config);
+        assert!(report.completed, "yaw {yaw}: did not reach the goal");
+        assert_eq!(report.collisions, 0, "yaw {yaw}: collided");
+        let t = report.mission_time_s.unwrap();
+        // 50 m at 3 m/s plus takeoff/corrections: ~17 s.
+        assert!((14.0..25.0).contains(&t), "yaw {yaw}: mission time {t}");
+        // The UAV stayed inside the corridor.
+        for p in &report.trajectory {
+            assert!(
+                p.position.y.abs() <= 1.6,
+                "yaw {yaw}: wall breach at y = {}",
+                p.position.y
+            );
+        }
+    }
+}
+
+/// Config B (Rocket+Gemmini) also completes the tunnel: with an
+/// accelerator, the trajectory is insensitive to the host CPU
+/// (Section 5.1: "less sensitive to whether BOOM or Rocket is driving the
+/// accelerator").
+#[test]
+fn config_b_completes_tunnel() {
+    let config = MissionConfig {
+        soc: SocConfig::config_b(),
+        initial_yaw_deg: 20.0,
+        ..MissionConfig::default()
+    };
+    let report = run_mission(&config);
+    assert!(report.completed);
+    assert_eq!(report.collisions, 0);
+}
+
+/// Config C (no accelerator) cannot navigate the tunnel from an angled
+/// start: multi-second inference latency means the UAV collides before a
+/// correction arrives (Figure 10 c).
+#[test]
+fn config_c_crashes_from_angled_start() {
+    let config = MissionConfig {
+        soc: SocConfig::config_c(),
+        initial_yaw_deg: 20.0,
+        max_sim_seconds: 40.0,
+        ..MissionConfig::default()
+    };
+    let report = run_mission(&config);
+    // Multi-second stale commands cannot keep the UAV off the walls: it
+    // collides repeatedly and fails the mission (the paper's 6 s latency
+    // crashes before the first inference; our ~1.9 s latency crashes
+    // shortly after it — see EXPERIMENTS.md).
+    assert!(
+        report.collisions >= 3,
+        "CPU-only SoC should collide repeatedly, got {}",
+        report.collisions
+    );
+    assert!(
+        !report.completed,
+        "CPU-only SoC should not finish the tunnel from an angled start in 40 s"
+    );
+}
+
+/// CPU-only inference latency is more than an order of magnitude above the
+/// accelerated one (Section 5.1's 6-second observation).
+#[test]
+fn config_c_latency_is_orders_of_magnitude_higher() {
+    let accel = run_mission(&MissionConfig {
+        max_sim_seconds: 3.0,
+        ..MissionConfig::default()
+    });
+    let cpu_only = run_mission(&MissionConfig {
+        soc: SocConfig::config_c(),
+        max_sim_seconds: 8.0,
+        ..MissionConfig::default()
+    });
+    assert!(
+        cpu_only.mean_latency_ms > 10.0 * accel.mean_latency_ms,
+        "CPU-only {} ms vs accelerated {} ms",
+        cpu_only.mean_latency_ms,
+        accel.mean_latency_ms
+    );
+}
+
+/// The same seed reproduces a full mission bit-exactly; different seeds
+/// perturb it (artifact §A.7: FireSim is deterministic, environment
+/// randomness drives variation).
+#[test]
+fn full_mission_determinism() {
+    let config = MissionConfig::default();
+    let a = run_mission(&config);
+    let b = run_mission(&config);
+    assert_eq!(a.trajectory.len(), b.trajectory.len());
+    for (pa, pb) in a.trajectory.iter().zip(&b.trajectory) {
+        assert_eq!(pa.position, pb.position);
+    }
+    assert_eq!(a.inference_count, b.inference_count);
+    assert_eq!(a.soc_stats.cycles, b.soc_stats.cycles);
+}
+
+/// The dynamic runtime flies the s-shape safely while using the
+/// accelerator less than static ResNet14 (Figure 13's headline claim).
+#[test]
+fn dynamic_runtime_reduces_activity_factor() {
+    let base = MissionConfig {
+        world: rose_envsim::WorldKind::SShape,
+        velocity: 9.0,
+        max_sim_seconds: 60.0,
+        ..MissionConfig::default()
+    };
+    let static_14 = run_mission(&MissionConfig {
+        controller: ControllerChoice::Static(DnnModel::ResNet14),
+        ..base.clone()
+    });
+    let dynamic = run_mission(&MissionConfig {
+        controller: ControllerChoice::dynamic_default(),
+        ..base
+    });
+    assert!(static_14.completed && dynamic.completed);
+    assert!(
+        dynamic.activity_factor < static_14.activity_factor,
+        "dynamic {} should be below static {}",
+        dynamic.activity_factor,
+        static_14.activity_factor
+    );
+    let t_static = static_14.mission_time_s.unwrap();
+    let t_dynamic = dynamic.mission_time_s.unwrap();
+    assert!(
+        t_dynamic <= t_static * 1.1,
+        "dynamic {t_dynamic} s should not be slower than static {t_static} s"
+    );
+    assert!(
+        dynamic.inference_count <= static_14.inference_count,
+        "dynamic runs fewer inferences ({} vs {})",
+        dynamic.inference_count,
+        static_14.inference_count
+    );
+}
+
+/// Energy accounting: the dynamic runtime is the most energy-efficient
+/// config-A controller, and leakage makes slow missions expensive even at
+/// low activity (the energy extension's headline).
+#[test]
+fn dynamic_runtime_saves_energy() {
+    let base = MissionConfig {
+        world: rose_envsim::WorldKind::SShape,
+        velocity: 9.0,
+        max_sim_seconds: 60.0,
+        ..MissionConfig::default()
+    };
+    let static_14 = run_mission(&MissionConfig {
+        controller: ControllerChoice::Static(DnnModel::ResNet14),
+        ..base.clone()
+    });
+    let dynamic = run_mission(&MissionConfig {
+        controller: ControllerChoice::dynamic_default(),
+        ..base
+    });
+    assert!(
+        dynamic.energy.total_mj() < static_14.energy.total_mj(),
+        "dynamic {} mJ vs static {} mJ",
+        dynamic.energy.total_mj(),
+        static_14.energy.total_mj()
+    );
+    // Sanity on the power range of an embedded SoC.
+    let mw = static_14.energy.average_mw();
+    assert!((50.0..1500.0).contains(&mw), "avg power {mw} mW");
+}
