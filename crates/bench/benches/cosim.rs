@@ -4,6 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rose::mission::{build_mission, MissionConfig};
+use rose_bridge::sync::SyncMode;
 
 fn bench_sync_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("sync_step");
@@ -49,5 +50,31 @@ fn bench_short_mission(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sync_step, bench_short_mission);
+/// The tentpole comparison: the same mission with the quantum run
+/// sequentially vs with the RTL grant and environment frames overlapped.
+/// Parallel should win by roughly the cheaper side's share of the quantum.
+fn bench_sync_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_mode");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("sequential", SyncMode::Sequential),
+        ("parallel", SyncMode::Parallel),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = MissionConfig {
+                    max_sim_seconds: 1.0,
+                    sync_mode: mode,
+                    ..MissionConfig::default()
+                };
+                let (mut sync, _metrics) = build_mission(&config);
+                sync.run_until(u64::MAX, |env, _| env.sim().time() >= 1.0);
+                black_box(sync.stats().sim_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_step, bench_short_mission, bench_sync_modes);
 criterion_main!(benches);

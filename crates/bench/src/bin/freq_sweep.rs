@@ -3,7 +3,7 @@
 //! the baseline against which microarchitectural exploration is compared.
 
 use rose::mission::{run_mission, MissionConfig};
-use rose_bench::{write_csv, TextTable};
+use rose_bench::{default_jobs, parallel_map, write_csv, TextTable};
 use rose_dnn::lower::time_inference;
 use rose_dnn::DnnModel;
 use rose_sim_core::cycles::ClockSpec;
@@ -19,20 +19,22 @@ fn main() {
         "energy (mJ)",
     ]);
     let mut csv = CsvLog::new(&["mhz", "inference_ms", "time_s", "energy_mj"]);
-    for mhz in [500u64, 1000, 1500, 2000] {
+    let results = parallel_map(vec![500u64, 1000, 1500, 2000], default_jobs(), |mhz| {
         let mut soc = SocConfig::config_a();
         soc.clock = ClockSpec::from_mhz(mhz);
         soc.name = format!("A@{mhz}MHz");
         let inference_ms =
             time_inference(&soc, DnnModel::ResNet14) as f64 / soc.clock.hz() as f64 * 1e3;
         let mission = MissionConfig {
-            soc: soc.clone(),
+            soc,
             world: rose_envsim::WorldKind::SShape,
             velocity: 9.0,
             max_sim_seconds: 60.0,
             ..MissionConfig::default()
         };
-        let r = run_mission(&mission);
+        (mhz, inference_ms, run_mission(&mission))
+    });
+    for (mhz, inference_ms, r) in results {
         t.row(vec![
             format!("{mhz} MHz"),
             format!("{inference_ms:.0}"),

@@ -5,7 +5,7 @@
 //! recovers.
 
 use rose::mission::{run_mission, run_mission_multitenant, MissionConfig};
-use rose_bench::{write_csv, TextTable};
+use rose_bench::{default_jobs, parallel_map, write_csv, TextTable};
 use rose_sim_core::csv::CsvLog;
 use rose_socsim::multitenant::TimeSharedConfig;
 use rose_socsim::SocConfig;
@@ -21,46 +21,51 @@ fn main() {
         "telemetry blocks",
     ]);
     let mut csv = CsvLog::new(&["config_b", "bg_ops", "latency_ms", "telemetry"]);
+    // One scenario per (config, scheduling share): bg_ops = 0 is the
+    // control loop alone. All six runs are independent, so they share the
+    // sweep worker pool.
+    let mut scenarios = Vec::new();
     for (ci, soc) in [SocConfig::config_a(), SocConfig::config_b()].iter().enumerate() {
+        for bg_ops in [0u32, 1, 4] {
+            scenarios.push((ci, soc.clone(), bg_ops));
+        }
+    }
+    let results = parallel_map(scenarios, default_jobs(), |(ci, soc, bg_ops)| {
         let mission = MissionConfig {
-            soc: soc.clone(),
+            soc,
             max_sim_seconds: 45.0,
             ..MissionConfig::default()
         };
-        // Baseline: control loop alone.
-        let solo = run_mission(&mission);
-        let idle = solo.soc_stats.idle_cycles as f64 / solo.soc_stats.cycles as f64;
-        t.row(vec![
-            soc.name.clone(),
-            "solo".into(),
-            solo.mission_time_s.map_or("-".into(), |x| format!("{x:.2}")),
-            solo.collisions.to_string(),
-            format!("{:.0}", solo.mean_latency_ms),
-            format!("{idle:.2}"),
-            "0".into(),
-        ]);
-        csv.row(&[ci as f64, 0.0, solo.mean_latency_ms, 0.0]);
-        for bg_ops in [1u32, 4] {
-            let (r, telemetry) = run_mission_multitenant(
+        let (r, telemetry) = if bg_ops == 0 {
+            (run_mission(&mission), 0)
+        } else {
+            run_mission_multitenant(
                 &mission,
                 TimeSharedConfig {
                     background_ops_per_fg: bg_ops,
                     ..TimeSharedConfig::default()
                 },
                 64 * 1024,
-            );
-            let idle = r.soc_stats.idle_cycles as f64 / r.soc_stats.cycles as f64;
-            t.row(vec![
-                soc.name.clone(),
-                format!("+telemetry x{bg_ops}"),
-                r.mission_time_s.map_or("-".into(), |x| format!("{x:.2}")),
-                r.collisions.to_string(),
-                format!("{:.0}", r.mean_latency_ms),
-                format!("{idle:.2}"),
-                telemetry.to_string(),
-            ]);
-            csv.row(&[ci as f64, bg_ops as f64, r.mean_latency_ms, telemetry as f64]);
-        }
+            )
+        };
+        (ci, mission.soc.name.clone(), bg_ops, r, telemetry)
+    });
+    for (ci, name, bg_ops, r, telemetry) in results {
+        let idle = r.soc_stats.idle_cycles as f64 / r.soc_stats.cycles as f64;
+        t.row(vec![
+            name,
+            if bg_ops == 0 {
+                "solo".into()
+            } else {
+                format!("+telemetry x{bg_ops}")
+            },
+            r.mission_time_s.map_or("-".into(), |x| format!("{x:.2}")),
+            r.collisions.to_string(),
+            format!("{:.0}", r.mean_latency_ms),
+            format!("{idle:.2}"),
+            telemetry.to_string(),
+        ]);
+        csv.row(&[ci as f64, bg_ops as f64, r.mean_latency_ms, telemetry as f64]);
     }
     t.print("Extension: multi-tenant core sharing (tunnel, ResNet14 @ 3 m/s)");
     println!("the telemetry tenant recovers the control loop's idle cycles (idle frac");

@@ -1,6 +1,9 @@
 //! Runs every table/figure experiment in sequence (the artifact's
-//! `run-all.sh`).
+//! `run-all.sh`). Each mission sweep fans its independent scenarios out
+//! over a worker pool; control the width with `--jobs N` or
+//! `ROSE_BENCH_JOBS`.
 fn main() {
+    println!("sweep parallelism: {} jobs", rose_bench::default_jobs());
     for (name, f) in [
         ("table2", run_table2 as fn()),
         ("table3", run_table3),
@@ -64,10 +67,13 @@ fn run_fig14() {
 fn run_fig15() {
     for p in rose_bench::fig15(2.0) {
         println!(
-            "{} frames/sync ({}M cycles): {:.1} sim-MHz",
+            "{} frames/sync ({}M cycles): {:.1} sim-MHz, env {:.2}s / rtl {:.2}s, overlap {:.2}",
             p.frames_per_sync,
             p.cycles_per_sync / 1_000_000,
-            p.sim_mhz
+            p.sim_mhz,
+            p.env_wall_s,
+            p.rtl_wall_s,
+            p.overlap,
         );
     }
 }

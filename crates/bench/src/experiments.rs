@@ -2,7 +2,11 @@
 //!
 //! Every runner uses [`rose::mission`]'s configurations so the binaries,
 //! integration tests, and Criterion benches measure the same scenarios.
+//! Mission sweeps are independent per point (each has its own seed and
+//! state), so they fan out over [`crate::parallel::parallel_map`] with the
+//! worker count from `--jobs` / `ROSE_BENCH_JOBS`.
 
+use crate::parallel::{default_jobs, parallel_map};
 use crate::report::TextTable;
 use rose::app::ControllerChoice;
 use rose::mission::{
@@ -14,6 +18,7 @@ use rose_dnn::lower::time_inference;
 use rose_dnn::DnnModel;
 use rose_envsim::WorldKind;
 use rose_sim_core::csv::CsvLog;
+use rose_sim_core::cycles::{FrameSpec, SyncRatio};
 use rose_socsim::SocConfig;
 use std::net::TcpListener;
 use std::thread;
@@ -83,7 +88,7 @@ pub struct LabeledRun {
 /// Figure 10: UAV trajectories for hardware configs A/B/C with initial
 /// angles −20°/0°/+20° in `tunnel`, ResNet14 at 3 m/s.
 pub fn fig10() -> Vec<LabeledRun> {
-    let mut runs = Vec::new();
+    let mut scenarios = Vec::new();
     for config in [
         SocConfig::config_a(),
         SocConfig::config_b(),
@@ -96,52 +101,52 @@ pub fn fig10() -> Vec<LabeledRun> {
                 max_sim_seconds: 45.0,
                 ..MissionConfig::default()
             };
-            runs.push(LabeledRun {
-                label: format!("{}/yaw{:+.0}", config.name, yaw),
-                report: run_mission(&mission),
-            });
+            scenarios.push((format!("{}/yaw{:+.0}", config.name, yaw), mission));
         }
     }
-    runs
+    run_labeled(scenarios)
+}
+
+/// Runs labeled mission configs on the sweep worker pool, keeping order.
+fn run_labeled(scenarios: Vec<(String, MissionConfig)>) -> Vec<LabeledRun> {
+    parallel_map(scenarios, default_jobs(), |(label, mission)| LabeledRun {
+        label,
+        report: run_mission(&mission),
+    })
 }
 
 /// Figure 11: DNN architecture sweep in `s-shape` at 9 m/s on config A.
 pub fn fig11() -> Vec<(DnnModel, MissionReport)> {
-    DnnModel::all()
-        .iter()
-        .map(|&model| {
-            let mission = MissionConfig {
-                world: WorldKind::SShape,
-                velocity: 9.0,
-                controller: ControllerChoice::Static(model),
-                max_sim_seconds: 60.0,
-                ..MissionConfig::default()
-            };
-            (model, run_mission(&mission))
-        })
-        .collect()
+    let scenarios: Vec<DnnModel> = DnnModel::all().to_vec();
+    parallel_map(scenarios, default_jobs(), |model| {
+        let mission = MissionConfig {
+            world: WorldKind::SShape,
+            velocity: 9.0,
+            controller: ControllerChoice::Static(model),
+            max_sim_seconds: 60.0,
+            ..MissionConfig::default()
+        };
+        (model, run_mission(&mission))
+    })
 }
 
 /// Figure 12: velocity-target sweep (6/9/12 m/s), ResNet14 on A, `s-shape`.
 pub fn fig12() -> Vec<(f64, MissionReport)> {
-    [6.0, 9.0, 12.0]
-        .iter()
-        .map(|&velocity| {
-            let mission = MissionConfig {
-                world: WorldKind::SShape,
-                velocity,
-                max_sim_seconds: 60.0,
-                ..MissionConfig::default()
-            };
-            (velocity, run_mission(&mission))
-        })
-        .collect()
+    parallel_map(vec![6.0, 9.0, 12.0], default_jobs(), |velocity| {
+        let mission = MissionConfig {
+            world: WorldKind::SShape,
+            velocity,
+            max_sim_seconds: 60.0,
+            ..MissionConfig::default()
+        };
+        (velocity, run_mission(&mission))
+    })
 }
 
 /// Figure 13: static vs dynamic DNN selection — application runtime and
 /// accelerator activity factor.
 pub fn fig13() -> Vec<LabeledRun> {
-    [
+    let scenarios = [
         ("static-ResNet14", ControllerChoice::Static(DnnModel::ResNet14)),
         ("static-ResNet6", ControllerChoice::Static(DnnModel::ResNet6)),
         ("dynamic", ControllerChoice::dynamic_default()),
@@ -155,18 +160,16 @@ pub fn fig13() -> Vec<LabeledRun> {
             max_sim_seconds: 60.0,
             ..MissionConfig::default()
         };
-        LabeledRun {
-            label: label.to_string(),
-            report: run_mission(&mission),
-        }
+        (label.to_string(), mission)
     })
-    .collect()
+    .collect();
+    run_labeled(scenarios)
 }
 
 /// Figure 14: hardware × algorithm co-design sweep (BOOM+Gemmini and
 /// Rocket+Gemmini across the DNN variants) in `s-shape` at 9 m/s.
 pub fn fig14() -> Vec<LabeledRun> {
-    let mut runs = Vec::new();
+    let mut scenarios = Vec::new();
     for config in [SocConfig::config_a(), SocConfig::config_b()] {
         for model in [
             DnnModel::ResNet6,
@@ -182,13 +185,10 @@ pub fn fig14() -> Vec<LabeledRun> {
                 max_sim_seconds: 60.0,
                 ..MissionConfig::default()
             };
-            runs.push(LabeledRun {
-                label: format!("{}/{}", config.name, model),
-                report: run_mission(&mission),
-            });
+            scenarios.push((format!("{}/{}", config.name, model), mission));
         }
     }
-    runs
+    run_labeled(scenarios)
 }
 
 /// One Figure 15 measurement point.
@@ -200,6 +200,14 @@ pub struct Fig15Point {
     pub cycles_per_sync: u64,
     /// Simulation throughput: simulated SoC MHz per wall second.
     pub sim_mhz: f64,
+    /// Wall seconds the environment spent stepping frames.
+    pub env_wall_s: f64,
+    /// Wall seconds the RTL side spent consuming cycle grants (for the
+    /// TCP deployment this includes the per-sync round trips).
+    pub rtl_wall_s: f64,
+    /// Fraction of the cheaper side hidden behind the more expensive one
+    /// by the parallel quantum (`SyncStats::overlap_efficiency`).
+    pub overlap: f64,
 }
 
 /// Figure 15: co-simulation throughput vs synchronization granularity.
@@ -244,6 +252,9 @@ pub fn fig15(sim_seconds_per_point: f64) -> Vec<Fig15Point> {
                 frames_per_sync,
                 cycles_per_sync: sync_config.cycles_per_sync(),
                 sim_mhz: stats.throughput_hz() / 1e6,
+                env_wall_s: stats.env_wall.as_secs_f64(),
+                rtl_wall_s: stats.rtl_wall.as_secs_f64(),
+                overlap: stats.overlap_efficiency(),
             }
         })
         .collect()
@@ -264,24 +275,23 @@ pub struct Fig16Run {
 /// on image-request → DNN-response latency. Same initial conditions
 /// (tunnel, +20°, ResNet14 at 3 m/s); granularity swept 10M–400M cycles.
 pub fn fig16() -> Vec<Fig16Run> {
-    [1u64, 2, 4, 10, 20, 40]
-        .iter()
-        .map(|&frames_per_sync| {
-            let mission = MissionConfig {
-                frame_hz: 100,
-                frames_per_sync,
-                initial_yaw_deg: 20.0,
-                max_sim_seconds: 45.0,
-                ..MissionConfig::default()
-            };
-            let report = run_mission(&mission);
-            Fig16Run {
-                frames_per_sync,
-                cycles_per_sync: frames_per_sync * 10_000_000,
-                report,
-            }
-        })
-        .collect()
+    let granularities = vec![1u64, 2, 4, 10, 20, 40];
+    parallel_map(granularities, default_jobs(), |frames_per_sync| {
+        let mission = MissionConfig {
+            frame_hz: 100,
+            frames_per_sync,
+            initial_yaw_deg: 20.0,
+            max_sim_seconds: 45.0,
+            ..MissionConfig::default()
+        };
+        let ratio = SyncRatio::new(mission.soc.clock, FrameSpec::from_hz(mission.frame_hz));
+        let report = run_mission(&mission);
+        Fig16Run {
+            frames_per_sync,
+            cycles_per_sync: ratio.cycles_for_frames(frames_per_sync),
+            report,
+        }
+    })
 }
 
 /// Renders a set of labeled runs as the standard mission-metrics table.

@@ -10,7 +10,9 @@
 //! `deploy/hephaestus/logs/`).
 
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 
 pub use experiments::*;
+pub use parallel::{default_jobs, parallel_map};
 pub use report::{write_csv, TextTable};

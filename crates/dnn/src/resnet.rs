@@ -274,7 +274,7 @@ impl InferencePlan {
         // Global average pool + two heads.
         ops.push(PlanOp::Pool {
             out_elems: ch,
-            window: hh.max(1).min(8),
+            window: hh.clamp(1, 8),
         });
         for _ in 0..2 {
             ops.push(PlanOp::Linear {

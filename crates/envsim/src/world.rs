@@ -186,7 +186,7 @@ impl World {
         // Offset walls: sampled normals of the centerline.
         let mut left = Vec::new();
         let mut right = Vec::new();
-        for i in 0..=steps {
+        for (i, &c) in centerline.iter().enumerate() {
             let x = goal * i as f64 / steps as f64;
             let dy_dx = amplitude * std::f64::consts::PI / 40.0
                 * (std::f64::consts::PI * x / 40.0).cos();
@@ -194,7 +194,6 @@ impl World {
             // Unit normal (pointing left of travel).
             let nx = -dy_dx / norm;
             let ny = 1.0 / norm;
-            let c = centerline[i];
             left.push(P2::new(c.x + nx * half, c.y + ny * half));
             right.push(P2::new(c.x - nx * half, c.y - ny * half));
         }

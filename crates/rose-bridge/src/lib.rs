@@ -23,5 +23,5 @@ pub mod sync;
 pub mod transport;
 
 pub use packet::{DecodeError, Packet};
-pub use sync::{EnvSide, RtlSide, SyncConfig, SyncStats, Synchronizer};
+pub use sync::{EnvSide, RtlSide, SyncConfig, SyncMode, SyncStats, Synchronizer};
 pub use transport::{ChannelTransport, TcpTransport, Transport};

@@ -56,6 +56,33 @@ pub trait RtlSide {
     fn halted(&self) -> bool {
         false
     }
+
+    /// Takes the fault latched by the endpoint, if any.
+    ///
+    /// Endpoints that can fail mid-quantum (e.g. [`RemoteRtl`] losing its
+    /// transport) latch the error, report [`halted`](RtlSide::halted) so
+    /// the mission loop winds down, and surface the cause here. Default:
+    /// the endpoint never faults.
+    fn take_fault(&mut self) -> Option<TransportError> {
+        None
+    }
+}
+
+/// How the two simulators execute within one synchronization period.
+///
+/// Either way, data crosses only at sync boundaries: the exchange phase of
+/// [`Synchronizer::step_sync`] runs single-threaded before any token is
+/// granted, so the mode is unobservable to the simulated system — it only
+/// changes wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Grant the RTL simulation, then step the environment, on one thread.
+    Sequential,
+    /// Run the RTL grant and the environment frames concurrently and join
+    /// at the sync boundary, hiding the shorter side's latency behind the
+    /// longer (the co-simulation analogue of the paper's decoupled
+    /// simulator processes).
+    Parallel,
 }
 
 /// Synchronization configuration.
@@ -66,10 +93,13 @@ pub struct SyncConfig {
     /// Environment frames per synchronization period (the granularity
     /// swept in Figures 15/16).
     pub frames_per_sync: u64,
+    /// Intra-period execution mode.
+    pub mode: SyncMode,
 }
 
 impl SyncConfig {
-    /// Creates a config; `frames_per_sync` must be nonzero.
+    /// Creates a config; `frames_per_sync` must be nonzero. The execution
+    /// mode defaults to [`SyncMode::Parallel`].
     ///
     /// # Panics
     ///
@@ -79,10 +109,20 @@ impl SyncConfig {
         SyncConfig {
             ratio,
             frames_per_sync,
+            mode: SyncMode::Parallel,
         }
     }
 
-    /// SoC cycles per synchronization period.
+    /// Returns the config with a different execution mode.
+    pub fn with_mode(mut self, mode: SyncMode) -> SyncConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Nominal SoC cycles per synchronization period (the period starting
+    /// at frame 0). Periods later in the mission may be granted one cycle
+    /// more or fewer so that the cycle timeline tracks the frame timeline
+    /// exactly; see [`SyncRatio::cycles_for_span`].
     pub fn cycles_per_sync(&self) -> u64 {
         self.ratio.cycles_for_frames(self.frames_per_sync)
     }
@@ -111,6 +151,14 @@ pub struct SyncStats {
     pub data_to_rtl: u64,
     /// Wall-clock time spent inside `step_sync`.
     pub wall: Duration,
+    /// Wall-clock time the environment spent stepping frames.
+    pub env_wall: Duration,
+    /// Wall-clock time the RTL simulation spent consuming cycle grants.
+    pub rtl_wall: Duration,
+    /// Wall-clock time of the token-consumption phase of each period (both
+    /// sides together — equals `env_wall + rtl_wall` when sequential, the
+    /// slower side plus join overhead when parallel).
+    pub quantum_wall: Duration,
 }
 
 impl SyncStats {
@@ -123,6 +171,23 @@ impl SyncStats {
         } else {
             self.sim_cycles as f64 / secs
         }
+    }
+
+    /// Fraction of the cheaper side's work hidden behind the more
+    /// expensive side: `(env_wall + rtl_wall - quantum_wall) /
+    /// min(env_wall, rtl_wall)`.
+    ///
+    /// 1.0 means the shorter side was entirely overlapped (ideal parallel
+    /// quantum); 0.0 means fully serial execution. Clamped to `[0, 1]`;
+    /// returns 0.0 before any period has run.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let shorter = self.env_wall.min(self.rtl_wall).as_secs_f64();
+        if shorter == 0.0 {
+            return 0.0;
+        }
+        let hidden =
+            (self.env_wall + self.rtl_wall).as_secs_f64() - self.quantum_wall.as_secs_f64();
+        (hidden / shorter).clamp(0.0, 1.0)
     }
 }
 
@@ -188,13 +253,15 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
         (self.env, self.rtl)
     }
 
-    /// Executes one synchronization period (the body of Algorithm 1).
-    pub fn step_sync(&mut self) {
-        let started = Instant::now();
-
-        // Poll simulators for new data: translate I/O packets from the SoC
-        // into environment API calls, and queue the responses (plus any
-        // unsolicited sensor data) towards the SoC.
+    /// The single-threaded exchange phase of Algorithm 1: translate I/O
+    /// packets from the SoC into environment API calls, and queue the
+    /// responses (plus any unsolicited sensor data) towards the SoC.
+    ///
+    /// This runs before any token is granted, so everything either side
+    /// observes during the following quantum was committed at the sync
+    /// boundary — the invariant that makes [`SyncMode::Parallel`]
+    /// indistinguishable from [`SyncMode::Sequential`].
+    fn exchange(&mut self) {
         for datum in self.rtl.drain_tx() {
             self.stats.data_to_env += 1;
             for response in self.env.handle_data(&datum) {
@@ -206,18 +273,87 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
             self.stats.data_to_rtl += 1;
             self.rtl.push_data(datum);
         }
+    }
 
-        // Allocate tokens and run both simulators one sync period.
-        let cycles = self.config.cycles_per_sync();
+    /// The cycle grant for the period starting at the current frame,
+    /// sized cumulatively so no drift accumulates (Equation 1, exact).
+    fn next_grant(&self) -> (u64, u64) {
         let frames = self.config.frames_per_sync;
-        self.rtl.grant_and_run(cycles);
-        self.env.step_frames(frames);
+        let start = self.time.frame.raw();
+        let cycles = self.config.ratio.cycles_for_span(start, start + frames);
+        (cycles, frames)
+    }
 
+    fn finish_period(&mut self, cycles: u64, frames: u64, started: Instant) {
         self.time.advance(frames, cycles);
         self.stats.syncs += 1;
         self.stats.sim_cycles += cycles;
         self.stats.sim_frames += frames;
         self.stats.wall += started.elapsed();
+    }
+
+    /// Executes one synchronization period on the calling thread,
+    /// regardless of the configured [`SyncMode`]. Available for endpoints
+    /// that are not [`Send`]; prefer [`step_sync`](Synchronizer::step_sync).
+    pub fn step_sync_sequential(&mut self) {
+        let started = Instant::now();
+        self.exchange();
+        let (cycles, frames) = self.next_grant();
+
+        let quantum_started = Instant::now();
+        self.rtl.grant_and_run(cycles);
+        let rtl_done = Instant::now();
+        self.env.step_frames(frames);
+        let env_done = Instant::now();
+        self.stats.rtl_wall += rtl_done - quantum_started;
+        self.stats.env_wall += env_done - rtl_done;
+        self.stats.quantum_wall += env_done - quantum_started;
+
+        self.finish_period(cycles, frames, started);
+    }
+}
+
+/// Driving methods. The RTL grant runs on a scoped worker thread when the
+/// mode is [`SyncMode::Parallel`], hence the [`Send`] bound; the
+/// environment always steps on the calling thread, so `E` needs none.
+impl<E: EnvSide, R: RtlSide + Send> Synchronizer<E, R> {
+    /// Executes one synchronization period (the body of Algorithm 1).
+    ///
+    /// With [`SyncMode::Parallel`], the RTL cycle grant and the
+    /// environment frames run concurrently and join before time advances;
+    /// the preceding exchange phase is single-threaded either way, so data
+    /// still crosses only at sync boundaries.
+    pub fn step_sync(&mut self) {
+        match self.config.mode {
+            SyncMode::Sequential => self.step_sync_sequential(),
+            SyncMode::Parallel => self.step_sync_parallel(),
+        }
+    }
+
+    fn step_sync_parallel(&mut self) {
+        let started = Instant::now();
+        self.exchange();
+        let (cycles, frames) = self.next_grant();
+
+        let quantum_started = Instant::now();
+        let rtl = &mut self.rtl;
+        let env = &mut self.env;
+        let (env_wall, rtl_wall) = std::thread::scope(|scope| {
+            let worker = scope.spawn(move || {
+                let t0 = Instant::now();
+                rtl.grant_and_run(cycles);
+                t0.elapsed()
+            });
+            let t0 = Instant::now();
+            env.step_frames(frames);
+            let env_wall = t0.elapsed();
+            (env_wall, worker.join().expect("RTL quantum worker panicked"))
+        });
+        self.stats.env_wall += env_wall;
+        self.stats.rtl_wall += rtl_wall;
+        self.stats.quantum_wall += quantum_started.elapsed();
+
+        self.finish_period(cycles, frames, started);
     }
 
     /// Runs `n` synchronization periods.
@@ -229,6 +365,10 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
 
     /// Runs until `done(env, time)` returns true, the RTL program halts, or
     /// `max_syncs` elapse. Returns the number of periods executed.
+    ///
+    /// A transport fault on the RTL side reports as a halt; callers that
+    /// need to distinguish an orderly halt from a fault should use
+    /// [`try_run_until`](Synchronizer::try_run_until).
     pub fn run_until(
         &mut self,
         max_syncs: u64,
@@ -240,6 +380,26 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
             executed += 1;
         }
         executed
+    }
+
+    /// Like [`run_until`](Synchronizer::run_until), but surfaces a fault
+    /// the RTL endpoint latched (e.g. the remote simulator's transport
+    /// dying mid-mission) instead of folding it into an orderly halt.
+    ///
+    /// # Errors
+    ///
+    /// The latched [`TransportError`], with the synchronizer left in a
+    /// consistent state at the last completed sync boundary.
+    pub fn try_run_until(
+        &mut self,
+        max_syncs: u64,
+        done: impl FnMut(&E, SimTime) -> bool,
+    ) -> Result<u64, TransportError> {
+        let executed = self.run_until(max_syncs, done);
+        match self.rtl.take_fault() {
+            Some(fault) => Err(fault),
+            None => Ok(executed),
+        }
     }
 }
 
@@ -253,6 +413,8 @@ pub struct RemoteRtl<T> {
     /// Payloads received from the remote SoC.
     inbox: Vec<Vec<u8>>,
     halted: bool,
+    /// First transport failure, latched until taken.
+    fault: Option<TransportError>,
 }
 
 impl<T: Transport> RemoteRtl<T> {
@@ -263,6 +425,23 @@ impl<T: Transport> RemoteRtl<T> {
             outbox: Vec::new(),
             inbox: Vec::new(),
             halted: false,
+            fault: None,
+        }
+    }
+
+    /// The latched transport fault, if the remote side has failed.
+    pub fn fault(&self) -> Option<&TransportError> {
+        self.fault.as_ref()
+    }
+
+    /// Records a transport failure: the endpoint reports halted so the
+    /// mission loop winds down at the next sync boundary, and the error is
+    /// surfaced through [`RtlSide::take_fault`]. Only the first fault is
+    /// kept — later errors are consequences of the same dead peer.
+    fn latch_fault(&mut self, error: TransportError) {
+        self.halted = true;
+        if self.fault.is_none() {
+            self.fault = Some(error);
         }
     }
 
@@ -270,32 +449,45 @@ impl<T: Transport> RemoteRtl<T> {
     ///
     /// # Errors
     ///
-    /// Any transport error.
+    /// The latched fault if the session already failed, or any error from
+    /// sending the shutdown packet.
     pub fn shutdown(mut self) -> Result<(), TransportError> {
+        if let Some(fault) = self.fault.take() {
+            return Err(fault);
+        }
         self.transport.send(&Packet::Shutdown)
     }
 }
 
 impl<T: Transport> RtlSide for RemoteRtl<T> {
     fn grant_and_run(&mut self, cycles: u64) {
-        for payload in self.outbox.drain(..) {
-            self.transport
-                .send(&Packet::Data(payload))
-                .expect("remote RTL send failed");
+        if self.halted {
+            return;
         }
-        self.transport
-            .send(&Packet::GrantCycles { cycles })
-            .expect("remote RTL send failed");
+        for payload in std::mem::take(&mut self.outbox) {
+            if let Err(e) = self.transport.send(&Packet::Data(payload)) {
+                self.latch_fault(e);
+                return;
+            }
+        }
+        if let Err(e) = self.transport.send(&Packet::GrantCycles { cycles }) {
+            self.latch_fault(e);
+            return;
+        }
         // Wait for completion, collecting data the SoC emitted.
         loop {
-            match self.transport.recv().expect("remote RTL recv failed") {
-                Packet::Data(payload) => self.inbox.push(payload),
-                Packet::CyclesDone { .. } => break,
-                Packet::Shutdown => {
+            match self.transport.recv() {
+                Ok(Packet::Data(payload)) => self.inbox.push(payload),
+                Ok(Packet::CyclesDone { .. }) => break,
+                Ok(Packet::Shutdown) => {
                     self.halted = true;
                     break;
                 }
-                other => panic!("unexpected packet from RTL server: {other:?}"),
+                Ok(other) => panic!("unexpected packet from RTL server: {other:?}"),
+                Err(e) => {
+                    self.latch_fault(e);
+                    return;
+                }
             }
         }
     }
@@ -310,6 +502,10 @@ impl<T: Transport> RtlSide for RemoteRtl<T> {
 
     fn halted(&self) -> bool {
         self.halted
+    }
+
+    fn take_fault(&mut self) -> Option<TransportError> {
+        self.fault.take()
     }
 }
 
@@ -352,11 +548,13 @@ mod tests {
     use rose_sim_core::cycles::{ClockSpec, FrameSpec};
     use std::thread;
 
-    /// Echo environment: replies to each datum with the same bytes + 1.
+    /// Echo environment: replies to each datum with the same bytes + 1,
+    /// logging every payload it handles in order.
     #[derive(Default)]
     struct EchoEnv {
         frames: u64,
         handled: u64,
+        seen: Vec<Vec<u8>>,
     }
 
     impl EnvSide for EchoEnv {
@@ -366,17 +564,19 @@ mod tests {
 
         fn handle_data(&mut self, payload: &[u8]) -> Vec<Vec<u8>> {
             self.handled += 1;
-            vec![payload.iter().map(|b| b + 1).collect()]
+            self.seen.push(payload.to_vec());
+            vec![payload.iter().map(|b| b.wrapping_add(1)).collect()]
         }
     }
 
     /// Loopback RTL: every pushed payload is emitted back on the next
-    /// quantum; counts granted cycles.
+    /// quantum; counts granted cycles and logs every received payload.
     #[derive(Default)]
     struct LoopRtl {
         cycles: u64,
         rx: Vec<Vec<u8>>,
         tx: Vec<Vec<u8>>,
+        received: Vec<Vec<u8>>,
     }
 
     impl RtlSide for LoopRtl {
@@ -386,6 +586,7 @@ mod tests {
         }
 
         fn push_data(&mut self, payload: Vec<u8>) {
+            self.received.push(payload.clone());
             self.rx.push(payload);
         }
 
@@ -443,8 +644,88 @@ mod tests {
             1,
         );
         assert_eq!(cfg.cycles_per_sync(), 16_666_666);
+        // Exact, not 40 * 16_666_666 = 666_666_640: the coarse period is
+        // sized so its grants carry the fractional cycles every frame
+        // would otherwise drop.
         let coarse = SyncConfig::new(cfg.ratio, 40);
-        assert_eq!(coarse.cycles_per_sync(), 40 * 16_666_666);
+        assert_eq!(coarse.cycles_per_sync(), 666_666_666);
+    }
+
+    /// Acceptance criterion for the drift fix: at 1 GHz / 60 fps the cycle
+    /// timeline must stay within one frame's worth of cycles of the frame
+    /// timeline over >= 10^4 sync periods, for every sync granularity.
+    #[test]
+    fn grants_do_not_drift_over_many_periods() {
+        let ratio = SyncRatio::new(ClockSpec::from_hz(1_000_000_000), FrameSpec::from_hz(60));
+        for frames_per_sync in [1u64, 10, 40] {
+            let cfg = SyncConfig::new(ratio, frames_per_sync).with_mode(SyncMode::Sequential);
+            let mut sync = Synchronizer::new(cfg, EchoEnv::default(), LoopRtl::default());
+            sync.run_syncs(10_000);
+
+            let frames = sync.time().frame.raw();
+            let cycles = sync.time().cycle.raw();
+            assert_eq!(frames, 10_000 * frames_per_sync);
+            // The granted cycles telescope to the exact conversion...
+            assert_eq!(cycles, ratio.cycles_for_frames(frames));
+            assert_eq!(sync.rtl().cycles, cycles);
+            // ...so the divergence from the ideal rational timeline stays
+            // under one cycle — far inside the one-frame budget. The naive
+            // per-frame truncation would be 40 cycles/frame off (16 M
+            // cycles adrift by the end at frames_per_sync = 1).
+            let ideal = frames as u128 * 1_000_000_000 / 60;
+            let drift = ideal - cycles as u128;
+            assert!(
+                drift < ratio.cycles_per_frame() as u128,
+                "drift {drift} cycles at frames_per_sync={frames_per_sync}"
+            );
+            assert!(drift <= 1, "span sizing should be cycle-exact: {drift}");
+        }
+    }
+
+    /// The parallel quantum must be unobservable: identical progress
+    /// counters and identical message contents *and ordering* on both
+    /// endpoints, versus the sequential reference.
+    #[test]
+    fn parallel_mode_matches_sequential_exactly() {
+        fn run(mode: SyncMode) -> (SyncStats, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+            let cfg = config(2).with_mode(mode);
+            let mut sync = Synchronizer::new(cfg, EchoEnv::default(), LoopRtl::default());
+            // Seed traffic so data crosses in both directions every period.
+            sync.rtl_mut().tx.push(vec![1]);
+            sync.rtl_mut().tx.push(vec![2, 3]);
+            sync.run_syncs(50);
+            let stats = *sync.stats();
+            let (env, rtl) = sync.into_parts();
+            (stats, env.seen, rtl.received)
+        }
+
+        let (seq_stats, seq_env_seen, seq_rtl_rx) = run(SyncMode::Sequential);
+        let (par_stats, par_env_seen, par_rtl_rx) = run(SyncMode::Parallel);
+
+        assert_eq!(seq_stats.syncs, par_stats.syncs);
+        assert_eq!(seq_stats.sim_cycles, par_stats.sim_cycles);
+        assert_eq!(seq_stats.sim_frames, par_stats.sim_frames);
+        assert_eq!(seq_stats.data_to_env, par_stats.data_to_env);
+        assert_eq!(seq_stats.data_to_rtl, par_stats.data_to_rtl);
+        assert_eq!(seq_env_seen, par_env_seen);
+        assert_eq!(seq_rtl_rx, par_rtl_rx);
+        assert!(seq_env_seen.len() > 50, "scenario should move real data");
+    }
+
+    /// A dead peer mid-mission must latch a fault and halt, not panic.
+    #[test]
+    fn dropped_peer_latches_fault_instead_of_panicking() {
+        let (client, server) = ChannelTransport::pair();
+        let mut sync = Synchronizer::new(config(1), EchoEnv::default(), RemoteRtl::new(client));
+        drop(server); // peer dies before the first grant
+
+        let result = sync.try_run_until(100, |_, _| false);
+        assert!(matches!(result, Err(TransportError::Disconnected)));
+        assert!(sync.rtl().halted());
+        // The fault was taken by try_run_until; the halt latch keeps the
+        // mission loop from re-entering the dead transport.
+        assert_eq!(sync.run_until(100, |_, _| false), 0);
+        assert!(sync.rtl_mut().take_fault().is_none());
     }
 
     #[test]

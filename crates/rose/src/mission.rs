@@ -12,7 +12,7 @@ use crate::app::{AppMetrics, ControlGains, ControllerChoice, TrailNavApp};
 use crate::envside::CoSimEnv;
 use crate::rtlside::SocRtl;
 use parking_lot::Mutex;
-use rose_bridge::sync::{SyncConfig, SyncStats, Synchronizer};
+use rose_bridge::sync::{SyncConfig, SyncMode, SyncStats, Synchronizer};
 use rose_dnn::DnnModel;
 use rose_envsim::uav::{TrajectoryPoint, UavSim, UavSimConfig};
 use rose_envsim::world::{World, WorldKind};
@@ -42,6 +42,10 @@ pub struct MissionConfig {
     pub frame_hz: u32,
     /// Frames per synchronization period (granularity of Figures 15/16).
     pub frames_per_sync: u64,
+    /// Intra-period execution: run the SoC grant and the environment
+    /// frames concurrently ([`SyncMode::Parallel`], the default) or on one
+    /// thread. Unobservable to the simulated system either way.
+    pub sync_mode: SyncMode,
     /// Deterministic seed for all stochastic components.
     pub seed: u64,
     /// Wall on simulated time; missions that have not reached the goal by
@@ -61,6 +65,7 @@ impl Default for MissionConfig {
             initial_yaw_deg: 0.0,
             frame_hz: 60,
             frames_per_sync: 1,
+            sync_mode: SyncMode::Parallel,
             seed: 0x0520_2306,
             max_sim_seconds: 90.0,
             gains: ControlGains::default(),
@@ -192,7 +197,7 @@ pub fn mission_parts_with_program(
     let rtl = SocRtl::new(soc);
 
     let ratio = SyncRatio::new(config.soc.clock, FrameSpec::from_hz(config.frame_hz));
-    let sync_config = SyncConfig::new(ratio, config.frames_per_sync);
+    let sync_config = SyncConfig::new(ratio, config.frames_per_sync).with_mode(config.sync_mode);
     (env, rtl, sync_config)
 }
 

@@ -173,6 +173,7 @@ impl MpcMetrics {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(clippy::enum_variant_names)] // "State" here means vehicle state, not the enum
 enum State {
     RequestState,
     AwaitState,
@@ -354,8 +355,10 @@ mod tests {
         assert!(sol.controls[0] < 0.0, "first control {}", sol.controls[0]);
         // Cost is far below the do-nothing rollout cost.
         let idle = solver.solve(1.0, 0.2, 3.0).cost; // converged cost
-        let mut unsteered = MpcConfig::default();
-        unsteered.max_iters = 1;
+        let unsteered = MpcConfig {
+            max_iters: 1,
+            ..MpcConfig::default()
+        };
         let one_iter = MpcSolver::new(unsteered).solve(1.0, 0.2, 3.0);
         assert!(idle < one_iter.cost * 0.8, "{idle} vs {}", one_iter.cost);
     }

@@ -166,7 +166,7 @@ impl Default for ClockSpec {
 
 impl fmt::Display for ClockSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.hz % 1_000_000 == 0 {
+        if self.hz.is_multiple_of(1_000_000) {
             write!(f, "{} MHz", self.hz / 1_000_000)
         } else {
             write!(f, "{} Hz", self.hz)
@@ -252,9 +252,35 @@ impl SyncRatio {
         self.clock.hz() / self.frames.hz() as u64
     }
 
-    /// SoC cycles corresponding to `n` environment frames.
+    /// SoC cycles corresponding to `n` environment frames, computed
+    /// exactly as `floor(n * clock_hz / frame_hz)`.
+    ///
+    /// Multiplying the truncated per-frame quotient instead (the naive
+    /// `cycles_per_frame() * n`) loses the fractional cycles of every
+    /// frame: at 1 GHz / 60 fps each frame drops 40 cycles, ~2.4 kcycle
+    /// of drift per simulated second, and makes total simulated time
+    /// depend on the synchronization granularity. The exact form keeps
+    /// the cycle and frame timelines aligned to within one cycle however
+    /// the span is partitioned.
     pub fn cycles_for_frames(self, n: u64) -> u64 {
-        self.cycles_per_frame() * n
+        ((n as u128 * self.clock.hz() as u128) / self.frames.hz() as u128) as u64
+    }
+
+    /// SoC cycles covering the frame interval `[start_frame, end_frame)`.
+    ///
+    /// This is the Bresenham-style grant size the synchronizer uses:
+    /// because consecutive spans telescope
+    /// (`cycles_for_span(0, a) + cycles_for_span(a, b) ==
+    /// cycles_for_frames(b)`), the sum of grants over any partition of N
+    /// frames equals `floor(N * clock_hz / frame_hz)` exactly — no
+    /// drift accumulates regardless of `frames_per_sync`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_frame < start_frame`.
+    pub fn cycles_for_span(self, start_frame: u64, end_frame: u64) -> u64 {
+        assert!(end_frame >= start_frame, "span must not be negative");
+        self.cycles_for_frames(end_frame) - self.cycles_for_frames(start_frame)
     }
 
     /// Number of whole frames covered by `cycles` (floor).
@@ -324,7 +350,27 @@ mod tests {
         // Paper Figure 6: 1 GHz SoC, 60 fps -> sync every ~16M cycles.
         let ratio = SyncRatio::new(ClockSpec::from_hz(1_000_000_000), FrameSpec::from_hz(60));
         assert_eq!(ratio.cycles_per_frame(), 16_666_666);
-        assert_eq!(ratio.cycles_for_frames(60), 999_999_960);
+        // Exact, not 60 * 16_666_666 = 999_999_960: one simulated second
+        // of frames is exactly one simulated second of cycles.
+        assert_eq!(ratio.cycles_for_frames(60), 1_000_000_000);
+    }
+
+    #[test]
+    fn span_grants_telescope_without_drift() {
+        let ratio = SyncRatio::new(ClockSpec::from_hz(1_000_000_000), FrameSpec::from_hz(60));
+        for frames_per_sync in [1u64, 7, 10, 40] {
+            let mut frame = 0u64;
+            let mut granted = 0u64;
+            while frame < 6000 {
+                granted += ratio.cycles_for_span(frame, frame + frames_per_sync);
+                frame += frames_per_sync;
+            }
+            assert_eq!(
+                granted,
+                ratio.cycles_for_frames(frame),
+                "drift at frames_per_sync={frames_per_sync}"
+            );
+        }
     }
 
     #[test]

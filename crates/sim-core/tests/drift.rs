@@ -1,0 +1,69 @@
+//! Property tests for the clock-domain conversion (Equation 1): grant
+//! sizing must never let the cycle timeline drift from the frame timeline,
+//! for any clock rate, frame rate, or synchronization granularity.
+
+use proptest::prelude::*;
+use rose_sim_core::cycles::{ClockSpec, FrameSpec, SyncRatio};
+
+proptest! {
+    /// The no-drift invariant: summing cumulative span grants over any
+    /// number of sync periods reproduces `floor(N * clock_hz / frame_hz)`
+    /// exactly, and the divergence from the ideal rational timeline stays
+    /// under one cycle (hence always under one frame's worth of cycles).
+    #[test]
+    fn span_grants_never_drift(
+        clock_hz in 1_000u64..5_000_000_000,
+        frame_hz in 1u32..240,
+        frames_per_sync in 1u64..100,
+        periods in 1u64..500,
+    ) {
+        let ratio = SyncRatio::new(ClockSpec::from_hz(clock_hz), FrameSpec::from_hz(frame_hz));
+        let mut granted = 0u64;
+        let mut frame = 0u64;
+        for _ in 0..periods {
+            granted += ratio.cycles_for_span(frame, frame + frames_per_sync);
+            frame += frames_per_sync;
+        }
+        prop_assert_eq!(granted, ratio.cycles_for_frames(frame));
+        let exact = frame as u128 * clock_hz as u128 / frame_hz as u128;
+        prop_assert_eq!(granted as u128, exact);
+        // granted = floor(frame * clock / fps)  =>  the remainder below is
+        // the sub-cycle error, strictly less than one frame period.
+        let remainder = frame as u128 * clock_hz as u128 - granted as u128 * frame_hz as u128;
+        prop_assert!(remainder < frame_hz as u128);
+    }
+
+    /// Span grants telescope: adjacent spans compose exactly, so any
+    /// partition of a frame interval yields the same total cycles.
+    #[test]
+    fn spans_telescope(
+        clock_hz in 1u64..2_000_000_000,
+        frame_hz in 1u32..240,
+        bounds in (0u64..10_000, 0u64..10_000, 0u64..10_000),
+    ) {
+        let ratio = SyncRatio::new(ClockSpec::from_hz(clock_hz), FrameSpec::from_hz(frame_hz));
+        let mut points = [bounds.0, bounds.1, bounds.2];
+        points.sort_unstable();
+        let [a, b, c] = points;
+        prop_assert_eq!(
+            ratio.cycles_for_span(a, b) + ratio.cycles_for_span(b, c),
+            ratio.cycles_for_span(a, c)
+        );
+    }
+
+    /// The naive per-frame quotient never over-grants: truncation error is
+    /// one-sided, so the exact conversion dominates it by at most one
+    /// cycle per frame.
+    #[test]
+    fn exact_conversion_bounds_naive_truncation(
+        clock_hz in 1u64..5_000_000_000,
+        frame_hz in 1u32..240,
+        frames in 0u64..100_000,
+    ) {
+        let ratio = SyncRatio::new(ClockSpec::from_hz(clock_hz), FrameSpec::from_hz(frame_hz));
+        let naive = ratio.cycles_per_frame() * frames;
+        let exact = ratio.cycles_for_frames(frames);
+        prop_assert!(naive <= exact);
+        prop_assert!(exact - naive < frames.max(1));
+    }
+}

@@ -513,7 +513,8 @@ mod tests {
         let loads: Vec<u64> = t
             .instrs
             .iter()
-            .filter_map(|i| (i.class == InstrClass::Load).then(|| i.addr.unwrap()))
+            .filter(|i| i.class == InstrClass::Load)
+            .map(|i| i.addr.unwrap())
             .collect();
         // Pointer chase: consecutive load addresses are not sequential.
         let sequential = loads

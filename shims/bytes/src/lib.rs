@@ -1,0 +1,293 @@
+//! Offline stub of the `bytes` crate.
+//!
+//! Implements exactly the API surface this workspace uses — little-endian
+//! `Buf`/`BufMut` accessors, `BytesMut` as a growable inbox buffer with
+//! `advance`/`split_to`/`freeze`, and an owned `Bytes` cursor — backed by
+//! plain `Vec<u8>`. Semantics match the real crate for these operations
+//! (including panics on short reads); performance characteristics differ
+//! (`advance` is O(remaining) here), which is irrelevant at the packet
+//! sizes the co-simulation moves.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor operations (little-endian subset).
+pub trait Buf {
+    /// Returns the bytes remaining to be read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(self.len() >= n, "advance past end of slice");
+        *self = &self[n..];
+    }
+}
+
+/// Write-side append operations (little-endian subset).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable byte buffer with front-consumption, as used for framed
+/// transport inboxes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends bytes at the back.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Discards the first `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the buffer length.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.buf.len(), "advance past end of BytesMut");
+        self.buf.drain(..n);
+    }
+
+    /// Splits off and returns the first `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the buffer length.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.buf.len(), "split_to past end of BytesMut");
+        let tail = self.buf.split_off(n);
+        let head = std::mem::replace(&mut self.buf, tail);
+        BytesMut { buf: head }
+    }
+
+    /// Converts into an immutable [`Bytes`] cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            buf: self.buf,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut { buf: src.to_vec() }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.buf.len() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.buf[..dst.len()]);
+        BytesMut::advance(self, dst.len());
+    }
+
+    fn advance(&mut self, n: usize) {
+        BytesMut::advance(self, n);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An owned immutable byte sequence with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Remaining length.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.buf[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(self.len() >= n, "advance past end of Bytes");
+        self.pos += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_little_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_f64_le(1.5);
+        let mut rd: &[u8] = &buf;
+        assert_eq!(rd.get_u8(), 7);
+        assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_u64_le(), 42);
+        assert_eq!(rd.get_f64_le(), 1.5);
+        assert!(rd.is_empty());
+    }
+
+    #[test]
+    fn split_and_freeze() {
+        let mut buf = BytesMut::from(&[1u8, 2, 3, 4, 5][..]);
+        buf.advance(1);
+        let mut head = buf.split_to(2).freeze();
+        assert_eq!(head.to_vec(), vec![2, 3]);
+        assert_eq!(head.get_u8(), 2);
+        assert_eq!(&buf[..], &[4, 5]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stub of `criterion`.
+//!
+//! A minimal timed benchmark harness exposing the subset API this
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `black_box`, `BenchmarkId`). Each benchmark is warmed
+//! up, then timed over enough iterations to fill a short measurement
+//! window; mean and fastest-iteration times are printed to stdout. There
+//! are no statistical comparisons or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement window per benchmark (after warm-up).
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Warm-up window per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A parameterized benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark by its swept parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Labels a benchmark with a function name and parameter.
+    pub fn new<P: Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its sample count by
+    /// wall-clock window instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark closure under the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{name}", self.name), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark closure under the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.label), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        fastest: Duration::MAX,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {label}: no iterations recorded");
+        return;
+    }
+    let mean = bencher.total / bencher.iters as u32;
+    println!(
+        "bench {label}: mean {:>12?}  fastest {:>12?}  ({} iters)",
+        mean, bencher.fastest, bencher.iters
+    );
+}
+
+/// Per-benchmark timing driver, passed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    fastest: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring iterations until
+    /// the measurement window fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run at least once, until the warm-up window elapses.
+        let warm_started = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_started.elapsed() >= WARMUP_WINDOW {
+                break;
+            }
+        }
+        // Measurement.
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_WINDOW {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.iters += 1;
+            self.fastest = self.fastest.min(dt);
+        }
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stub of `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::channel`'s unbounded MPSC channel,
+//! which `std::sync::mpsc` covers one-for-one (same `TryRecvError`
+//! variants, same send/recv error semantics for the single-consumer uses
+//! here), so this stub re-exports the std types under crossbeam's names.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel (std's `mpsc::channel`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}
