@@ -76,5 +76,34 @@ fn bench_sync_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sync_step, bench_short_mission, bench_sync_modes);
+/// Overhead guard for the tracing layer: the same mission untraced vs
+/// traced. Disabled tracing must cost only a branch per would-be event,
+/// so "off" here should match the plain mission benchmarks.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    for (name, trace) in [("off", false), ("on", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = MissionConfig {
+                    max_sim_seconds: 1.0,
+                    trace,
+                    ..MissionConfig::default()
+                };
+                let (mut sync, _metrics) = build_mission(&config);
+                sync.run_until(u64::MAX, |env, _| env.sim().time() >= 1.0);
+                black_box(sync.stats().sim_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync_step,
+    bench_short_mission,
+    bench_sync_modes,
+    bench_trace_overhead
+);
 criterion_main!(benches);

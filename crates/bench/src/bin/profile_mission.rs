@@ -1,0 +1,171 @@
+//! Profile one mission: run it with tracing enabled, write a Chrome
+//! trace-event JSON (loadable in Perfetto / `chrome://tracing`) and a
+//! metrics CSV snapshot of every counter in the stack.
+//!
+//! ```text
+//! profile_mission [--trace out.json] [--metrics out.csv] [--seconds F] [--check]
+//! ```
+//!
+//! `ROSE_TRACE` / `ROSE_METRICS` environment variables are fallbacks for
+//! the two output paths. `--check` re-parses the emitted JSON and
+//! cross-checks the trace and registry against the mission's raw stats —
+//! the CI smoke test — exiting nonzero on any inconsistency.
+
+use rose::mission::{run_mission, MissionConfig, MissionReport};
+use rose_trace::{json, Track};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    seconds: f64,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile_mission [--trace out.json] [--metrics out.csv] \
+         [--seconds F] [--check]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        trace: std::env::var_os("ROSE_TRACE").map(PathBuf::from),
+        metrics: std::env::var_os("ROSE_METRICS").map(PathBuf::from),
+        seconds: 2.0,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => args.trace = Some(it.next().unwrap_or_else(|| usage()).into()),
+            "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage()).into()),
+            "--seconds" => {
+                args.seconds = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--check" => args.check = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// The `--check` validation: the emitted JSON must parse, name every
+/// track, contain the stack's event types, and agree with the raw stats.
+fn check(report: &MissionReport) -> Result<(), String> {
+    let log = report.trace.as_ref().expect("mission ran traced");
+    let doc = json::parse(&log.to_chrome_json()).map_err(|e| format!("bad JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("traceEvents missing")?;
+
+    let mut tracks = Vec::new();
+    let mut names = Vec::new();
+    for event in events {
+        match event.get("name").and_then(|n| n.as_str()) {
+            Some("thread_name") => {
+                if let Some(t) = event
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                {
+                    tracks.push(t.to_string());
+                }
+            }
+            Some(n) => names.push(n.to_string()),
+            None => return Err("event without a name".into()),
+        }
+    }
+    for track in Track::ALL {
+        if !tracks.iter().any(|t| t == track.name()) {
+            return Err(format!("track {:?} missing from metadata", track.name()));
+        }
+    }
+    for required in ["env-frame", "sync-quantum", "bridge-packet", "gemmini-tile"] {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("no {required:?} events in trace"));
+        }
+    }
+
+    // Event counts against the mission's own counters.
+    let count = |name: &str| names.iter().filter(|n| *n == name).count() as u64;
+    if count("env-frame") != report.trajectory.len() as u64 {
+        return Err("env-frame count != trajectory length".into());
+    }
+    if count("sync-quantum") != report.sync_stats.syncs {
+        return Err("sync-quantum count != sync_stats.syncs".into());
+    }
+    if count("bridge-packet") != report.sync_stats.data_to_env + report.sync_stats.data_to_rtl {
+        return Err("bridge-packet count != data crossings".into());
+    }
+
+    // Registry totals must reproduce the pre-existing stats structs.
+    let reg = report.metric_registry();
+    let pairs = [
+        ("soc.l1.misses", report.soc_stats.l1.misses),
+        ("soc.l2.misses", report.soc_stats.l2.misses),
+        ("soc.cycles", report.soc_stats.cycles),
+        ("sync.syncs", report.sync_stats.syncs),
+        ("sync.sim_cycles", report.sync_stats.sim_cycles),
+        ("app.inferences", report.inference_count),
+    ];
+    for (name, expected) in pairs {
+        if reg.counter_value(name) != Some(expected) {
+            return Err(format!("registry {name} != stats value {expected}"));
+        }
+    }
+    if reg.gauge_value("energy.total_mj") != Some(report.energy.total_mj()) {
+        return Err("registry energy.total_mj != energy report".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let config = MissionConfig {
+        max_sim_seconds: args.seconds,
+        trace: true,
+        ..MissionConfig::default()
+    };
+    let report = run_mission(&config);
+    let log = report.trace.as_ref().expect("trace was requested");
+    println!(
+        "mission: {:.1} sim-s, {} syncs, {} inferences, {} trace events",
+        report.sim_time_s,
+        report.sync_stats.syncs,
+        report.inference_count,
+        log.len(),
+    );
+
+    if let Some(path) = &args.trace {
+        if let Err(e) = log.write_chrome_json(path) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} (load in ui.perfetto.dev)", path.display());
+    }
+    if let Some(path) = &args.metrics {
+        if let Err(e) = report.metric_registry().to_csv().write_to(path) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    if args.check {
+        match check(&report) {
+            Ok(()) => println!("check: trace and registry consistent"),
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,76 @@
+//! Acceptance smoke test for the tracing layer: a short traced tunnel
+//! mission must emit valid Chrome trace-event JSON carrying every track,
+//! with event counts matching the mission's own counters and timestamps
+//! consistent with the configured `SyncRatio`.
+
+use rose::mission::{run_mission, MissionConfig};
+use rose_trace::{json, Track};
+
+#[test]
+fn traced_tunnel_mission_emits_valid_chrome_json() {
+    let config = MissionConfig {
+        max_sim_seconds: 2.0,
+        trace: true,
+        ..MissionConfig::default()
+    };
+    let report = run_mission(&config);
+    let log = report.trace.as_ref().expect("trace requested");
+    let doc = json::parse(&log.to_chrome_json()).expect("emitted trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+
+    // All six tracks are declared in thread_name metadata.
+    let name_of = |e: &json::Json| e.get("name").and_then(|n| n.as_str()).map(str::to_string);
+    let thread_names: Vec<String> = events
+        .iter()
+        .filter(|e| name_of(e).as_deref() == Some("thread_name"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|n| n.as_str())
+                .map(str::to_string)
+        })
+        .collect();
+    for track in Track::ALL {
+        assert!(
+            thread_names.iter().any(|t| t == track.name()),
+            "track {:?} missing from metadata",
+            track.name()
+        );
+    }
+
+    // The stack's event types all appear, in counts matching the report.
+    let count = |name: &str| {
+        events
+            .iter()
+            .filter(|e| name_of(e).as_deref() == Some(name))
+            .count() as u64
+    };
+    assert_eq!(count("env-frame"), report.trajectory.len() as u64);
+    assert_eq!(count("sync-quantum"), report.sync_stats.syncs);
+    assert_eq!(
+        count("bridge-packet"),
+        report.sync_stats.data_to_env + report.sync_stats.data_to_rtl
+    );
+    assert!(count("gemmini-tile") > 0, "accelerator activity traced");
+
+    // Timestamps are consistent with the SyncRatio: quantum n starts at
+    // n * frames_per_sync / frame_hz seconds on the shared microsecond
+    // axis (the cycle-exact grants telescope, so drift stays sub-µs).
+    let period_us = config.frames_per_sync as f64 / config.frame_hz as f64 * 1e6;
+    let quanta: Vec<f64> = events
+        .iter()
+        .filter(|e| name_of(e).as_deref() == Some("sync-quantum"))
+        .filter_map(|e| e.get("ts").and_then(|t| t.as_f64()))
+        .collect();
+    assert!(!quanta.is_empty());
+    for (n, ts) in quanta.iter().enumerate() {
+        let expected = n as f64 * period_us;
+        assert!(
+            (ts - expected).abs() < 1.0,
+            "quantum {n} at {ts} µs, expected {expected} µs"
+        );
+    }
+}

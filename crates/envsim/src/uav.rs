@@ -14,6 +14,7 @@ use crate::world::{P2, World};
 use rose_sim_core::cycles::FrameSpec;
 use rose_sim_core::math::Vec3;
 use rose_sim_core::rng::SimRng;
+use rose_trace::{ArgValue, TraceEvent, Track, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// The flight controller interface.
@@ -95,6 +96,7 @@ pub struct UavSim {
     collision_count: u32,
     in_collision: bool,
     trajectory: Vec<TrajectoryPoint>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for UavSim {
@@ -136,7 +138,24 @@ impl UavSim {
             collision_count: 0,
             in_collision: false,
             trajectory: Vec::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer; subsequent frames emit `env-frame` spans and
+    /// `collision` instants on the environment track.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Drains buffered trace events (for merging into a mission-wide log).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take_events()
     }
 
     /// The environment.
@@ -236,6 +255,8 @@ impl UavSim {
     }
 
     fn step_one_frame(&mut self) {
+        let start_frame = self.frame;
+        let collisions_before = self.collision_count;
         let dt = self.config.frames.dt() / self.config.substeps as f64;
         for _ in 0..self.config.substeps {
             let cmd = self
@@ -253,6 +274,24 @@ impl UavSim {
             yaw: s.yaw(),
             in_collision: self.in_collision,
         });
+        if self.tracer.is_enabled() {
+            self.tracer.complete_frames(
+                Track::Env,
+                "env-frame",
+                start_frame,
+                start_frame + 1,
+                vec![("frame", ArgValue::U64(start_frame))],
+            );
+            // One instant per rising edge of wall contact within this frame.
+            for _ in collisions_before..self.collision_count {
+                self.tracer.instant_frames(
+                    Track::Env,
+                    "collision",
+                    start_frame + 1,
+                    Vec::new(),
+                );
+            }
+        }
     }
 
     /// Collision handling: when the body sphere penetrates a wall it is
@@ -352,6 +391,25 @@ mod tests {
         assert_eq!(p.position, Vec3::new(1.0, 0.5, 2.0));
         assert!((p.yaw - 0.3).abs() < 1e-9);
         assert_eq!(s.collision_count(), 0);
+    }
+
+    #[test]
+    fn traced_sim_emits_one_span_per_frame() {
+        use rose_trace::TraceClock;
+        let mut s = sim();
+        s.set_tracer(Tracer::enabled(TraceClock::default()));
+        s.step_frames(30);
+        let events = s.take_trace_events();
+        let frames: Vec<_> = events.iter().filter(|e| e.name == "env-frame").collect();
+        assert_eq!(frames.len(), 30);
+        // Frame 0 starts at t=0; frame 1 starts one frame period later.
+        assert_eq!(frames[0].ts_us, 0.0);
+        let dt_us = 1e6 / 60.0;
+        assert!((frames[1].ts_us - dt_us).abs() < 1e-6);
+        // An untraced sim records nothing.
+        let mut quiet = sim();
+        quiet.step_frames(30);
+        assert!(quiet.take_trace_events().is_empty());
     }
 
     #[test]

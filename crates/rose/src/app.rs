@@ -99,6 +99,19 @@ impl AppMetrics {
     }
 }
 
+impl rose_trace::MetricSource for AppMetrics {
+    fn record_metrics(&self, registry: &mut rose_trace::MetricRegistry) {
+        registry.set_counter("app.inferences", self.inferences);
+        registry.set_counter("app.commands", self.commands);
+        registry.set_counter("app.fast_inferences", self.fast_inferences);
+        registry.set_counter("app.deadline_switches", self.deadline_switches);
+        registry.gauge("app.mean_latency_cycles", self.mean_latency_cycles());
+        for &lat in &self.latencies_cycles {
+            registry.observe("app.latency_cycles", lat as f64);
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum State {
     /// Request the depth sensor (dynamic runtime only).

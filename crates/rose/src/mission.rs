@@ -22,6 +22,7 @@ use rose_sim_core::csv::CsvLog;
 use rose_sim_core::rng::SimRng;
 use rose_socsim::soc::SocStats;
 use rose_socsim::{Soc, SocConfig};
+use rose_trace::{MetricRegistry, TraceClock, TraceLog, Tracer};
 use std::sync::Arc;
 
 /// Full configuration of one mission.
@@ -53,6 +54,10 @@ pub struct MissionConfig {
     pub max_sim_seconds: f64,
     /// Controller gains (Equation 2).
     pub gains: ControlGains,
+    /// Record a cycle-accurate event trace of the run. Off by default:
+    /// every component then pays only a branch per would-be event. The
+    /// collected trace is returned in [`MissionReport::trace`].
+    pub trace: bool,
 }
 
 impl Default for MissionConfig {
@@ -69,7 +74,16 @@ impl Default for MissionConfig {
             seed: 0x0520_2306,
             max_sim_seconds: 90.0,
             gains: ControlGains::default(),
+            trace: false,
         }
+    }
+}
+
+impl MissionConfig {
+    /// The clock mapping both simulated time domains (SoC cycles and
+    /// environment frames) onto one trace timeline.
+    pub fn trace_clock(&self) -> TraceClock {
+        TraceClock::new(self.soc.clock, FrameSpec::from_hz(self.frame_hz))
     }
 }
 
@@ -103,6 +117,11 @@ pub struct MissionReport {
     pub soc_stats: SocStats,
     /// Synchronizer counters (throughput for Figure 15).
     pub sync_stats: SyncStats,
+    /// Application-level counters (inference latencies, model selections).
+    pub app: AppMetrics,
+    /// The merged cycle-accurate event trace, present when
+    /// [`MissionConfig::trace`] was set.
+    pub trace: Option<TraceLog>,
 }
 
 impl MissionReport {
@@ -125,6 +144,24 @@ impl MissionReport {
         }
         log
     }
+
+    /// Collects every counter of the run — SoC, synchronizer, energy,
+    /// application, and mission-level outcomes — into one named-metric
+    /// registry (the `--metrics` CSV of `profile_mission`).
+    pub fn metric_registry(&self) -> MetricRegistry {
+        let mut registry = MetricRegistry::new();
+        registry.record(&self.soc_stats);
+        registry.record(&self.sync_stats);
+        registry.record(&self.energy);
+        registry.record(&self.app);
+        registry.set_counter("mission.collisions", self.collisions as u64);
+        registry.gauge("mission.completed", self.completed as u8 as f64);
+        registry.gauge("mission.sim_time_s", self.sim_time_s);
+        registry.gauge("mission.avg_velocity", self.avg_velocity);
+        registry.gauge("mission.mean_latency_ms", self.mean_latency_ms);
+        registry.gauge("mission.activity_factor", self.activity_factor);
+        registry
+    }
 }
 
 /// Builds and runs one mission to completion (goal or timeout).
@@ -146,7 +183,11 @@ pub fn build_mission(
     Arc<Mutex<AppMetrics>>,
 ) {
     let (env, rtl, sync_config, metrics) = mission_parts(config);
-    (Synchronizer::new(sync_config, env, rtl), metrics)
+    let mut sync = Synchronizer::new(sync_config, env, rtl);
+    if config.trace {
+        sync.set_tracer(Tracer::enabled(config.trace_clock()));
+    }
+    (sync, metrics)
 }
 
 /// Constructs the mission's endpoints without a synchronizer — used by
@@ -184,6 +225,9 @@ pub fn mission_parts_with_program(
     };
     let autopilot = SimpleFlight::default_for(uav_config.quad);
     let mut sim = UavSim::new(uav_config, world, Box::new(autopilot), &rng);
+    if config.trace {
+        sim.set_tracer(Tracer::enabled(config.trace_clock()));
+    }
     // The mission's velocity target is active from launch; the DNN
     // controller refines lateral/angular targets once inferences arrive
     // (so high-latency SoCs fly uncorrected at speed, as in Figure 10c).
@@ -193,7 +237,10 @@ pub fn mission_parts_with_program(
     let env = CoSimEnv::new(sim);
 
     // Companion-computer SoC running the target application.
-    let soc = Soc::new(config.soc.clone(), program);
+    let mut soc = Soc::new(config.soc.clone(), program);
+    if config.trace {
+        soc.set_tracer(Tracer::enabled(config.trace_clock()));
+    }
     let rtl = SocRtl::new(soc);
 
     let ratio = SyncRatio::new(config.soc.clock, FrameSpec::from_hz(config.frame_hz));
@@ -224,6 +271,9 @@ pub fn run_mission_multitenant(
     let shared = TimeShared::new(Box::new(app), Box::new(telemetry), sharing);
     let (env, rtl, sync_config) = mission_parts_with_program(config, Box::new(shared));
     let mut sync = Synchronizer::new(sync_config, env, rtl);
+    if config.trace {
+        sync.set_tracer(Tracer::enabled(config.trace_clock()));
+    }
     let max_syncs =
         (config.max_sim_seconds * config.frame_hz as f64 / config.frames_per_sync as f64).ceil()
             as u64;
@@ -236,14 +286,24 @@ pub fn run_mission_multitenant(
 /// Extracts the report after a run (exposed for benches).
 pub fn finish_report(
     config: &MissionConfig,
-    sync: Synchronizer<CoSimEnv, SocRtl>,
+    mut sync: Synchronizer<CoSimEnv, SocRtl>,
     metrics: &Mutex<AppMetrics>,
 ) -> MissionReport {
     let sync_stats = *sync.stats();
+    let sync_events = sync.take_trace_events();
     let (env, rtl) = sync.into_parts();
-    let sim = env.into_sim();
-    let soc = rtl.into_soc();
+    let mut sim = env.into_sim();
+    let mut soc = rtl.into_soc();
     let soc_stats = soc.stats();
+    // Merge each component's owned trace buffer into one chronological log.
+    let trace = config.trace.then(|| {
+        let mut log = TraceLog::new();
+        log.extend(sim.take_trace_events());
+        log.extend(soc.take_trace_events());
+        log.extend(sync_events);
+        log.sort_by_time();
+        log
+    });
     let m = metrics.lock();
 
     let completed = sim.mission_complete();
@@ -268,6 +328,8 @@ pub fn finish_report(
         energy: rose_socsim::energy::energy_of(&soc_stats, &config.soc),
         soc_stats,
         sync_stats,
+        app: m.clone(),
+        trace,
     }
 }
 
@@ -321,6 +383,60 @@ mod tests {
         let pa = a.trajectory.last().unwrap().position;
         let pb = b.trajectory.last().unwrap().position;
         assert_ne!(pa, pb, "different seeds should perturb the flight");
+    }
+
+    #[test]
+    fn traced_mission_merges_all_tracks_and_registry_matches_stats() {
+        let config = MissionConfig {
+            max_sim_seconds: 2.0,
+            trace: true,
+            ..MissionConfig::default()
+        };
+        let report = run_mission(&config);
+        let log = report.trace.as_ref().expect("trace requested");
+
+        // Every layer of the stack contributed events, merged in time order.
+        assert_eq!(log.count_named("env-frame"), report.trajectory.len());
+        assert_eq!(
+            log.count_named("sync-quantum") as u64,
+            report.sync_stats.syncs
+        );
+        assert_eq!(
+            log.count_named("bridge-packet") as u64,
+            report.sync_stats.data_to_env + report.sync_stats.data_to_rtl
+        );
+        assert!(log.count_named("gemmini-tile") > 0, "accelerator ran");
+        assert!(
+            log.events().windows(2).all(|w| w[0].ts_us <= w[1].ts_us),
+            "merged log is chronological"
+        );
+
+        // The registry reproduces the raw stats counters exactly.
+        let reg = report.metric_registry();
+        assert_eq!(
+            reg.counter_value("soc.l2.misses"),
+            Some(report.soc_stats.l2.misses)
+        );
+        assert_eq!(
+            reg.counter_value("soc.l1.misses"),
+            Some(report.soc_stats.l1.misses)
+        );
+        assert_eq!(reg.counter_value("sync.syncs"), Some(report.sync_stats.syncs));
+        assert_eq!(
+            reg.counter_value("app.inferences"),
+            Some(report.inference_count)
+        );
+        assert_eq!(
+            reg.gauge_value("energy.total_mj"),
+            Some(report.energy.total_mj())
+        );
+
+        // An untraced mission carries no log (and records no events).
+        let quiet = run_mission(&MissionConfig {
+            max_sim_seconds: 2.0,
+            ..MissionConfig::default()
+        });
+        assert!(quiet.trace.is_none());
     }
 
     #[test]

@@ -4,13 +4,22 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Streaming summary statistics (Welford's algorithm for variance).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for Summary {
+    /// Same as [`Summary::new`]: the min/max sentinels start at ±∞ so the
+    /// first observation wins (a derived all-zero default would report
+    /// `min = 0` for any positive-valued stream).
+    fn default() -> Summary {
+        Summary::new()
+    }
 }
 
 impl Summary {

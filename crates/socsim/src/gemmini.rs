@@ -104,6 +104,9 @@ pub struct AccelRun {
     pub dma_bytes: u64,
     /// Multiply-accumulates performed.
     pub macs: u64,
+    /// Mesh-resident tile executions (weight tiles preloaded and streamed
+    /// under weight-stationary dataflow; output tiles otherwise).
+    pub tiles: u64,
 }
 
 impl AccelRun {
@@ -120,6 +123,7 @@ impl AccelRun {
         self.compute_cycles += other.compute_cycles;
         self.dma_bytes += other.dma_bytes;
         self.macs += other.macs;
+        self.tiles += other.tiles;
     }
 }
 
@@ -217,6 +221,12 @@ impl GemminiModel {
                     };
                     block.compute_cycles += stream;
                     block.macs += (cur_m * cur_k * cur_n) as u64;
+                    block.tiles += match cfg.dataflow {
+                        Dataflow::WeightStationary => weight_tiles,
+                        Dataflow::OutputStationary => {
+                            (cur_m.div_ceil(dim) * cur_n.div_ceil(dim)) as u64
+                        }
+                    };
                 }
                 // Writeback of the C stripe on the last k block.
                 if bk == blocks_k - 1 {

@@ -14,6 +14,7 @@ use crate::gemmini::{AccelRun, ConvShape, GemminiModel};
 use crate::kernel::Kernel;
 use crate::mem::{CacheStats, MemSystem};
 use crate::program::{ProgContext, TargetOp, TargetProgram};
+use rose_trace::{ArgValue, MetricRegistry, MetricSource, Track, TraceEvent, Tracer};
 use std::collections::HashMap;
 
 /// Aggregate SoC execution statistics.
@@ -46,6 +47,44 @@ impl SocStats {
         } else {
             self.accel_cycles as f64 / self.cycles as f64
         }
+    }
+}
+
+impl MetricSource for SocStats {
+    fn record_metrics(&self, registry: &mut MetricRegistry) {
+        registry.set_counter("soc.cycles", self.cycles);
+        registry.set_counter("soc.idle_cycles", self.idle_cycles);
+        registry.set_counter("soc.accel_cycles", self.accel_cycles);
+        registry.set_counter("soc.accel_macs", self.accel_macs);
+        registry.gauge("soc.activity_factor", self.activity_factor());
+        registry.set_counter("soc.cpu.instrs", self.cpu.instrs);
+        registry.set_counter("soc.cpu.cycles", self.cpu.cycles);
+        registry.set_counter("soc.cpu.mispredicts", self.cpu.mispredicts);
+        registry.gauge("soc.cpu.ipc", self.cpu.ipc());
+        for (prefix, cache) in [("soc.l1", &self.l1), ("soc.l2", &self.l2)] {
+            registry.set_counter(&format!("{prefix}.hits"), cache.hits);
+            registry.set_counter(&format!("{prefix}.misses"), cache.misses);
+            registry.set_counter(&format!("{prefix}.writebacks"), cache.writebacks);
+            registry.gauge(&format!("{prefix}.miss_ratio"), cache.miss_ratio());
+        }
+        registry.set_counter("soc.bridge.rx_msgs", self.bridge.rx_msgs);
+        registry.set_counter("soc.bridge.rx_bytes", self.bridge.rx_bytes);
+        registry.set_counter("soc.bridge.tx_msgs", self.bridge.tx_msgs);
+        registry.set_counter("soc.bridge.tx_bytes", self.bridge.tx_bytes);
+    }
+}
+
+/// The trace slice title for a CPU kernel invocation.
+fn kernel_trace_name(kernel: &Kernel) -> &'static str {
+    match kernel {
+        Kernel::MatMul { .. } => "kernel:matmul",
+        Kernel::Im2col { .. } => "kernel:im2col",
+        Kernel::Elementwise { .. } => "kernel:elementwise",
+        Kernel::Pool { .. } => "kernel:pool",
+        Kernel::Softmax { .. } => "kernel:softmax",
+        Kernel::Memcpy { .. } => "kernel:memcpy",
+        Kernel::FrameworkNode { .. } => "kernel:framework-node",
+        Kernel::Control { .. } => "kernel:control",
     }
 }
 
@@ -83,6 +122,7 @@ pub struct Soc {
     kernel_costs: HashMap<Kernel, (u64, u64)>,
     conv_costs: HashMap<ConvShape, AccelRun>,
     matmul_costs: HashMap<(usize, usize, usize), AccelRun>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Soc {
@@ -113,8 +153,25 @@ impl Soc {
             kernel_costs: HashMap::new(),
             conv_costs: HashMap::new(),
             matmul_costs: HashMap::new(),
+            tracer: Tracer::disabled(),
             config,
         }
+    }
+
+    /// Installs an event recorder; kernel, accelerator, MMIO, and stall
+    /// activity is traced from the next grant on.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The SoC's tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Drains the SoC's recorded trace events.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take_events()
     }
 
     /// The SoC configuration.
@@ -179,11 +236,11 @@ impl Soc {
             .expect("program issued an accelerator op on an SoC without an accelerator")
     }
 
-    fn conv_cost(&mut self, shape: ConvShape) -> u64 {
+    fn conv_cost(&mut self, shape: ConvShape) -> AccelRun {
         if let Some(&run) = self.conv_costs.get(&shape) {
             // Re-account activity for the cached run.
             self.accel().add_activity(run.cycles, run.macs);
-            return run.cycles.max(1);
+            return run;
         }
         let gemmini = self
             .gemmini
@@ -192,13 +249,13 @@ impl Soc {
         let run = gemmini.conv(shape, &mut self.mem);
         gemmini.release_bus(&mut self.mem);
         self.conv_costs.insert(shape, run);
-        run.cycles.max(1)
+        run
     }
 
-    fn matmul_cost(&mut self, m: usize, k: usize, n: usize) -> u64 {
+    fn matmul_cost(&mut self, m: usize, k: usize, n: usize) -> AccelRun {
         if let Some(&run) = self.matmul_costs.get(&(m, k, n)) {
             self.accel().add_activity(run.cycles, run.macs);
-            return run.cycles.max(1);
+            return run;
         }
         let gemmini = self
             .gemmini
@@ -207,7 +264,26 @@ impl Soc {
         let run = gemmini.matmul(m, k, n, &mut self.mem);
         gemmini.release_bus(&mut self.mem);
         self.matmul_costs.insert((m, k, n), run);
-        run.cycles.max(1)
+        run
+    }
+
+    /// Records one accelerator command stream as a `gemmini-tile` span
+    /// occupying `[now, now + cost)` in simulated time.
+    fn trace_accel(&mut self, run: AccelRun, cost: u64) {
+        if self.tracer.is_enabled() {
+            self.tracer.complete_cycles(
+                Track::SocAccel,
+                "gemmini-tile",
+                self.now,
+                self.now + cost,
+                vec![
+                    ("tiles", ArgValue::U64(run.tiles)),
+                    ("macs", ArgValue::U64(run.macs)),
+                    ("dma_bytes", ArgValue::U64(run.dma_bytes)),
+                    ("compute_cycles", ArgValue::U64(run.compute_cycles)),
+                ],
+            );
+        }
     }
 
     /// Advances the SoC by exactly `cycles`, gated through the bridge
@@ -221,6 +297,29 @@ impl Soc {
 
     /// Runs until the bridge budget is exhausted.
     pub fn run_granted(&mut self) {
+        self.run_granted_inner();
+        // One counter sample per grant: the contention/occupancy curves
+        // (L1/L2 misses, bridge RX depth, idle time) over simulated time.
+        if self.tracer.is_enabled() {
+            let now = self.now;
+            let l1 = self.mem.l1_stats();
+            let l2 = self.mem.l2_stats();
+            self.tracer
+                .counter_cycles(Track::SocMem, "l1-misses", now, l1.misses as f64);
+            self.tracer
+                .counter_cycles(Track::SocMem, "l2-misses", now, l2.misses as f64);
+            self.tracer
+                .counter_cycles(Track::SocMem, "idle-cycles", now, self.idle_cycles as f64);
+            self.tracer.counter_cycles(
+                Track::Bridge,
+                "rx-queue-depth",
+                now,
+                self.bridge.target_rx_depth() as f64,
+            );
+        }
+    }
+
+    fn run_granted_inner(&mut self) {
         loop {
             let budget = self.bridge.budget();
             if budget == 0 {
@@ -270,9 +369,21 @@ impl Soc {
                     self.program.next_op(&mut ctx)
                 }
             };
+            // Ops are issued with their full cost up front, so each span
+            // below occupies exactly `[now, now + cost)` in simulated time
+            // regardless of how many grants it takes to consume.
             match op {
                 TargetOp::CpuKernel(k) => {
                     let cost = self.cpu_cost(k);
+                    if self.tracer.is_enabled() {
+                        self.tracer.complete_cycles(
+                            Track::SocCpu,
+                            kernel_trace_name(&k),
+                            self.now,
+                            self.now + cost,
+                            vec![("cycles", ArgValue::U64(cost))],
+                        );
+                    }
                     self.pending = Some(Pending {
                         remaining: cost,
                         idle: false,
@@ -280,7 +391,9 @@ impl Soc {
                     });
                 }
                 TargetOp::AccelConv(shape) => {
-                    let cost = self.conv_cost(shape);
+                    let run = self.conv_cost(shape);
+                    let cost = run.cycles.max(1);
+                    self.trace_accel(run, cost);
                     self.pending = Some(Pending {
                         remaining: cost,
                         idle: false,
@@ -288,7 +401,9 @@ impl Soc {
                     });
                 }
                 TargetOp::AccelMatmul { m, k, n } => {
-                    let cost = self.matmul_cost(m, k, n);
+                    let run = self.matmul_cost(m, k, n);
+                    let cost = run.cycles.max(1);
+                    self.trace_accel(run, cost);
                     self.pending = Some(Pending {
                         remaining: cost,
                         idle: false,
@@ -298,6 +413,15 @@ impl Soc {
                 TargetOp::Recv => match self.bridge.target_try_recv() {
                     Some(msg) => {
                         let cost = self.mmio_cost(msg.len());
+                        if self.tracer.is_enabled() {
+                            self.tracer.complete_cycles(
+                                Track::SocCpu,
+                                "mmio-recv",
+                                self.now,
+                                self.now + cost,
+                                vec![("bytes", ArgValue::U64(msg.len() as u64))],
+                            );
+                        }
                         self.pending = Some(Pending {
                             remaining: cost,
                             idle: false,
@@ -310,6 +434,15 @@ impl Soc {
                         // the next synchronization (Section 5.5).
                         self.blocked = Some(TargetOp::Recv);
                         let take = self.bridge.consume_budget(budget);
+                        if self.tracer.is_enabled() {
+                            self.tracer.complete_cycles(
+                                Track::SocCpu,
+                                "stall:rx-empty",
+                                self.now,
+                                self.now + take,
+                                Vec::new(),
+                            );
+                        }
                         self.now += take;
                         self.idle_cycles += take;
                         return;
@@ -317,6 +450,15 @@ impl Soc {
                 },
                 TargetOp::Send(msg) => {
                     let cost = self.mmio_cost(msg.len());
+                    if self.tracer.is_enabled() {
+                        self.tracer.complete_cycles(
+                            Track::SocCpu,
+                            "mmio-send",
+                            self.now,
+                            self.now + cost,
+                            vec![("bytes", ArgValue::U64(msg.len() as u64))],
+                        );
+                    }
                     self.pending = Some(Pending {
                         remaining: cost,
                         idle: false,
@@ -324,13 +466,27 @@ impl Soc {
                     });
                 }
                 TargetOp::Sleep(cycles) => {
+                    let cost = cycles.max(1);
+                    if self.tracer.is_enabled() {
+                        self.tracer.complete_cycles(
+                            Track::SocCpu,
+                            "sleep",
+                            self.now,
+                            self.now + cost,
+                            Vec::new(),
+                        );
+                    }
                     self.pending = Some(Pending {
-                        remaining: cycles.max(1),
+                        remaining: cost,
                         idle: true,
                         effect: Effect::None,
                     });
                 }
                 TargetOp::Halt => {
+                    if self.tracer.is_enabled() {
+                        self.tracer
+                            .instant_cycles(Track::SocCpu, "halt", self.now, Vec::new());
+                    }
                     self.halted = true;
                 }
             }

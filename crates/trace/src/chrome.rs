@@ -1,0 +1,249 @@
+//! Merged trace storage and the Chrome trace-event exporter.
+//!
+//! The export follows the Trace Event Format's JSON-object form:
+//! `{"displayTimeUnit": ..., "traceEvents": [...]}` with `"X"` (complete),
+//! `"i"` (instant), `"C"` (counter), and `"M"` (metadata) phases. One
+//! `pid` represents the co-simulation; each [`Track`] is a named thread,
+//! so Perfetto (`ui.perfetto.dev`) and `chrome://tracing` render the
+//! components as parallel swimlanes over simulated time.
+
+use crate::event::{ArgValue, EventKind, Track, TraceEvent};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An ordered collection of trace events from every component.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Appends a component's drained events.
+    pub fn extend(&mut self, events: Vec<TraceEvent>) {
+        self.events.extend(events);
+    }
+
+    /// All events, in current order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Sorts events by timestamp (then track) so merged per-component
+    /// buffers interleave chronologically.
+    pub fn sort_by_time(&mut self) {
+        self.events.sort_by(|a, b| {
+            a.ts_us
+                .total_cmp(&b.ts_us)
+                .then_with(|| a.track.tid().cmp(&b.track.tid()))
+        });
+    }
+
+    /// The distinct track names present, in display order.
+    pub fn track_names(&self) -> Vec<&'static str> {
+        Track::ALL
+            .iter()
+            .filter(|t| self.events.iter().any(|e| e.track == **t))
+            .map(|t| t.name())
+            .collect()
+    }
+
+    /// How many events carry `name`.
+    pub fn count_named(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// Serializes the log as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"rose-cosim\"}}");
+        for track in Track::ALL {
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}\
+                 ,\n{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"sort_index\":{tid}}}}}",
+                tid = track.tid(),
+                name = track.name(),
+            );
+        }
+        for event in &self.events {
+            out.push_str(",\n{\"name\":\"");
+            escape_into(&mut out, event.name);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":",
+                event.track.name(),
+                event.track.tid()
+            );
+            write_f64(&mut out, event.ts_us);
+            match event.kind {
+                EventKind::Complete { dur_us } => {
+                    out.push_str(",\"ph\":\"X\",\"dur\":");
+                    write_f64(&mut out, dur_us);
+                }
+                EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+                EventKind::Counter { value } => {
+                    out.push_str(",\"ph\":\"C\"");
+                    // Counter events carry their value as the only arg.
+                    out.push_str(",\"args\":{\"value\":");
+                    write_f64(&mut out, value);
+                    out.push_str("}}");
+                    continue;
+                }
+            }
+            if !event.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (key, value)) in event.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(&mut out, key);
+                    out.push_str("\":");
+                    match value {
+                        ArgValue::U64(v) => {
+                            let _ = write!(out, "{v}");
+                        }
+                        ArgValue::F64(v) => write_f64(&mut out, *v),
+                        ArgValue::Str(s) => {
+                            out.push('"');
+                            escape_into(&mut out, s);
+                            out.push('"');
+                        }
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes the Chrome trace-event JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn write_chrome_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(self.to_chrome_json().as_bytes())
+    }
+}
+
+/// Writes an f64 as a JSON number (non-finite values clamp to 0 — JSON has
+/// no NaN/Infinity and a poisoned timestamp must not corrupt the file).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+/// Appends `s` with JSON string escaping.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TraceClock;
+    use crate::json;
+    use crate::tracer::Tracer;
+
+    fn sample_log() -> TraceLog {
+        let mut t = Tracer::enabled(TraceClock::default());
+        t.complete_frames(Track::Env, "env-frame", 0, 1, Vec::new());
+        t.instant_cycles(
+            Track::Bridge,
+            "bridge-packet",
+            0,
+            vec![("dir", ArgValue::Str("to-env")), ("bytes", ArgValue::U64(12))],
+        );
+        t.counter_cycles(Track::SocMem, "l2-misses", 500, 3.0);
+        t.complete_cycles(
+            Track::SocAccel,
+            "gemmini-tile",
+            100,
+            400,
+            vec![("macs", ArgValue::U64(4096))],
+        );
+        let mut log = TraceLog::new();
+        log.extend(t.take_events());
+        log.sort_by_time();
+        log
+    }
+
+    #[test]
+    fn export_parses_as_json_with_expected_tracks() {
+        let log = sample_log();
+        let parsed = json::parse(&log.to_chrome_json()).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        // 1 process_name + 6 thread_name + 6 sort_index + 4 events.
+        assert_eq!(events.len(), 17);
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        for expected in ["env", "sync", "bridge", "soc.cpu", "soc.gemmini", "soc.mem"] {
+            assert!(thread_names.contains(&expected), "missing track {expected}");
+        }
+    }
+
+    #[test]
+    fn events_sort_chronologically() {
+        let log = sample_log();
+        let times: Vec<f64> = log.events().iter().map(|e| e.ts_us).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        assert_eq!(log.count_named("bridge-packet"), 1);
+        assert_eq!(log.track_names(), vec!["env", "bridge", "soc.gemmini", "soc.mem"]);
+    }
+
+    #[test]
+    fn non_finite_values_stay_valid_json() {
+        let mut log = TraceLog::new();
+        log.extend(vec![TraceEvent {
+            track: Track::Sync,
+            name: "sync-quantum",
+            ts_us: f64::NAN,
+            kind: EventKind::Complete { dur_us: f64::INFINITY },
+            args: vec![("x", ArgValue::F64(f64::NEG_INFINITY))],
+        }]);
+        json::parse(&log.to_chrome_json()).expect("non-finite values must not corrupt the JSON");
+    }
+}

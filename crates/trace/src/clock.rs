@@ -1,0 +1,91 @@
+//! Simulated-time clock domains.
+//!
+//! Trace timestamps are **simulated** microseconds, never wall-clock: an
+//! event at SoC cycle `c` lands at `c / clock_hz` seconds, an event at
+//! environment frame `f` at `f / frame_hz` seconds. Both domains map onto
+//! the same axis, which is exactly the relation [`SyncRatio`] maintains
+//! between grants (Equation 1) — so env-frame spans and sync-quantum spans
+//! line up in the exported trace by construction.
+//!
+//! [`SyncRatio`]: rose_sim_core::cycles::SyncRatio
+
+use rose_sim_core::cycles::{ClockSpec, FrameSpec};
+
+/// Converts cycle and frame counts to simulated microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceClock {
+    clock_hz: u64,
+    frame_hz: u32,
+}
+
+impl TraceClock {
+    /// A clock over the given SoC clock and environment frame rate (the
+    /// same pair that defines the synchronizer's `SyncRatio`).
+    pub fn new(clock: ClockSpec, frames: FrameSpec) -> TraceClock {
+        TraceClock {
+            clock_hz: clock.hz(),
+            frame_hz: frames.hz(),
+        }
+    }
+
+    /// SoC clock frequency in Hz.
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// Environment frame rate in Hz.
+    pub fn frame_hz(&self) -> u32 {
+        self.frame_hz
+    }
+
+    /// Simulated microseconds at SoC cycle `cycle`.
+    pub fn cycles_to_us(&self, cycle: u64) -> f64 {
+        cycle as f64 * 1e6 / self.clock_hz as f64
+    }
+
+    /// Simulated microseconds at environment frame `frame`.
+    pub fn frames_to_us(&self, frame: u64) -> f64 {
+        frame as f64 * 1e6 / self.frame_hz as f64
+    }
+}
+
+impl Default for TraceClock {
+    /// 1 GHz SoC / 60 fps environment, the workspace defaults.
+    fn default() -> TraceClock {
+        TraceClock::new(ClockSpec::default(), FrameSpec::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rose_sim_core::cycles::SyncRatio;
+
+    #[test]
+    fn both_domains_share_one_axis() {
+        let clock = TraceClock::new(ClockSpec::from_hz(1_000_000_000), FrameSpec::from_hz(60));
+        // Frame 60 and cycle 1e9 are both exactly 1 simulated second.
+        assert_eq!(clock.frames_to_us(60), 1e6);
+        assert_eq!(clock.cycles_to_us(1_000_000_000), 1e6);
+    }
+
+    #[test]
+    fn consistent_with_sync_ratio_grants() {
+        let clock_spec = ClockSpec::from_hz(1_000_000_000);
+        let frame_spec = FrameSpec::from_hz(60);
+        let clock = TraceClock::new(clock_spec, frame_spec);
+        let ratio = SyncRatio::new(clock_spec, frame_spec);
+        for frames in [1u64, 7, 40, 600] {
+            let cycles = ratio.cycles_for_frames(frames);
+            let frame_us = clock.frames_to_us(frames);
+            let cycle_us = clock.cycles_to_us(cycles);
+            // The grant truncates to whole cycles, so the two stamps agree
+            // to within one cycle's worth of microseconds.
+            let one_cycle_us = 1e6 / clock_spec.hz() as f64;
+            assert!(
+                (frame_us - cycle_us).abs() <= one_cycle_us + 1e-9,
+                "frames={frames}: {frame_us} vs {cycle_us}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Trace events and the fixed track layout.
+//!
+//! Tracks mirror the co-simulation's components: each maps to one Chrome
+//! trace-event thread inside a single `rose-cosim` process, so Perfetto
+//! renders env, synchronizer, bridge, and per-SoC-unit activity as
+//! parallel swimlanes sharing the simulated-time axis.
+
+/// A display track (one Perfetto swimlane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// Environment simulator frame steps and collision events.
+    Env,
+    /// Synchronizer quantum boundaries and grants.
+    Sync,
+    /// Bridge packet crossings and queue-depth counters.
+    Bridge,
+    /// SoC CPU activity: kernels, MMIO, stalls, sleeps.
+    SocCpu,
+    /// Gemmini accelerator tile executions.
+    SocAccel,
+    /// Memory-hierarchy counters (cache misses, idle cycles).
+    SocMem,
+}
+
+impl Track {
+    /// Every track, in display order.
+    pub const ALL: [Track; 6] = [
+        Track::Env,
+        Track::Sync,
+        Track::Bridge,
+        Track::SocCpu,
+        Track::SocAccel,
+        Track::SocMem,
+    ];
+
+    /// The track's display name (the Perfetto thread name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Env => "env",
+            Track::Sync => "sync",
+            Track::Bridge => "bridge",
+            Track::SocCpu => "soc.cpu",
+            Track::SocAccel => "soc.gemmini",
+            Track::SocMem => "soc.mem",
+        }
+    }
+
+    /// The trace-event thread id (stable, also the sort index).
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Env => 1,
+            Track::Sync => 2,
+            Track::Bridge => 3,
+            Track::SocCpu => 4,
+            Track::SocAccel => 5,
+            Track::SocMem => 6,
+        }
+    }
+}
+
+/// An event argument value (rendered into the `args` object).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned count.
+    U64(u64),
+    /// A real value.
+    F64(f64),
+    /// A static label (e.g. a direction tag).
+    Str(&'static str),
+}
+
+/// The shape of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A span with a duration (`ph: "X"`).
+    Complete {
+        /// Span length in simulated microseconds.
+        dur_us: f64,
+    },
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A sampled counter value (`ph: "C"`).
+    Counter {
+        /// The counter's value at this timestamp.
+        value: f64,
+    },
+}
+
+/// One recorded trace event, timestamped in simulated microseconds.
+///
+/// Names are static so recording never allocates for the common case; the
+/// only allocation is the (usually tiny) argument vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Display track.
+    pub track: Track,
+    /// Event name (Perfetto slice title).
+    pub name: &'static str,
+    /// Start timestamp in simulated microseconds.
+    pub ts_us: f64,
+    /// Span / instant / counter.
+    pub kind: EventKind,
+    /// Key-value details shown in the Perfetto side panel.
+    pub args: Vec<(&'static str, ArgValue)>,
+}

@@ -1,0 +1,40 @@
+//! Simulated-time tracing and metrics for the RoSÉ co-simulation.
+//!
+//! The paper's evaluation is built from *visibility* into the HW/SW stack:
+//! latency breakdowns, queue behaviour, and utilization curves recovered
+//! from FireSim counters and synchronizer logs (§5–6). This crate is the
+//! reproduction's equivalent instrumentation spine:
+//!
+//! - [`tracer::Tracer`] — a zero-cost-when-disabled event recorder keyed to
+//!   **simulated time** (SoC cycles / environment frames, mapped onto one
+//!   shared microsecond axis by [`clock::TraceClock`]), with an owned
+//!   per-component buffer so the hot loop never takes a lock.
+//! - [`chrome::TraceLog`] — merged events exported as Chrome
+//!   trace-event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
+//!   `chrome://tracing`, with env / sync / bridge / SoC-unit activity on
+//!   parallel tracks.
+//! - [`metrics::MetricRegistry`] — a named counter/gauge/summary registry
+//!   unifying the scattered per-subsystem stats structs behind one
+//!   interface with CSV snapshot export; subsystems opt in by implementing
+//!   [`metrics::MetricSource`].
+//! - [`json`] — a dependency-free JSON parser used to validate emitted
+//!   traces in tests and CI (the workspace builds offline; serde here is a
+//!   no-op stub).
+//!
+//! Only `rose-sim-core` sits below this crate, so every simulator crate
+//! (envsim, socsim, rose-bridge, rose) can depend on it without cycles.
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod clock;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod tracer;
+
+pub use chrome::TraceLog;
+pub use clock::TraceClock;
+pub use event::{ArgValue, EventKind, Track, TraceEvent};
+pub use metrics::{MetricRegistry, MetricSource, MetricValue};
+pub use tracer::Tracer;
