@@ -3,14 +3,19 @@
 //! metrics CSV snapshot of every counter in the stack.
 //!
 //! ```text
-//! profile_mission [--trace out.json] [--metrics out.csv] [--seconds F] [--check]
+//! profile_mission [--trace out.json] [--metrics out.csv] [--seconds F]
+//!                 [--check] [--determinism]
 //! ```
 //!
 //! `ROSE_TRACE` / `ROSE_METRICS` environment variables are fallbacks for
 //! the two output paths. `--check` re-parses the emitted JSON and
 //! cross-checks the trace and registry against the mission's raw stats —
 //! the CI smoke test — exiting nonzero on any inconsistency.
+//! `--determinism` additionally runs the same config a second time and
+//! compares FNV digests of the trajectory, SoC counters, and trace
+//! ordering (see `rose::audit`), exiting nonzero on any divergence.
 
+use rose::audit::{audit_determinism, MissionDigest};
 use rose::mission::{run_mission, MissionConfig, MissionReport};
 use rose_trace::{json, Track};
 use std::path::PathBuf;
@@ -21,12 +26,13 @@ struct Args {
     metrics: Option<PathBuf>,
     seconds: f64,
     check: bool,
+    determinism: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: profile_mission [--trace out.json] [--metrics out.csv] \
-         [--seconds F] [--check]"
+         [--seconds F] [--check] [--determinism]"
     );
     std::process::exit(2)
 }
@@ -37,6 +43,7 @@ fn parse_args() -> Args {
         metrics: std::env::var_os("ROSE_METRICS").map(PathBuf::from),
         seconds: 2.0,
         check: false,
+        determinism: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -50,6 +57,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--check" => args.check = true,
+            "--determinism" => args.determinism = true,
             _ => usage(),
         }
     }
@@ -166,6 +174,27 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if args.determinism {
+        let outcome = audit_determinism(&config);
+        let digest = MissionDigest::of(&report);
+        println!(
+            "determinism: run1 {:#018x} run2 {:#018x} (trajectory {:#018x}, soc {:#018x}, trace {:#018x})",
+            outcome.first.combined(),
+            outcome.second.combined(),
+            outcome.first.trajectory,
+            outcome.first.soc,
+            outcome.first.trace,
+        );
+        if !outcome.identical() || outcome.first != digest {
+            let mut diverged = outcome.diverged_surfaces();
+            if outcome.first != digest {
+                diverged.push("vs-initial-run");
+            }
+            eprintln!("determinism audit FAILED: diverged on {}", diverged.join(", "));
+            return ExitCode::FAILURE;
+        }
+        println!("determinism: bit-identical across runs (sync_mode {:?})", config.sync_mode);
     }
     ExitCode::SUCCESS
 }

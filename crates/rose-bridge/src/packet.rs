@@ -160,6 +160,7 @@ impl Packet {
             },
             TAG_DATA => Packet::Data(payload.to_vec()),
             TAG_SHUTDOWN => Packet::Shutdown,
+            // rose-lint: allow(PANIC001, the match above already rejected every tag outside this set via DecodeError::BadTag)
             _ => unreachable!("tag validated above"),
         })
     }
@@ -167,6 +168,17 @@ impl Packet {
     /// True for synchronization packets (invisible to the modeled SoC).
     pub fn is_sync(&self) -> bool {
         !matches!(self, Packet::Data(_))
+    }
+
+    /// The packet kind as a static label (protocol-error reporting).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Packet::GrantCycles { .. } => "GrantCycles",
+            Packet::CyclesDone { .. } => "CyclesDone",
+            Packet::FramesDone { .. } => "FramesDone",
+            Packet::Data(_) => "Data",
+            Packet::Shutdown => "Shutdown",
+        }
     }
 }
 

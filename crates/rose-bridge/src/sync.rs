@@ -328,6 +328,7 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
                 boundary,
                 vec![
                     ("dir", ArgValue::Str(dir)),
+                    // rose-lint: allow(CAST001, usize payload length widens into u64 on every supported target)
                     ("bytes", ArgValue::U64(bytes as u64)),
                 ],
             );
@@ -454,7 +455,13 @@ impl<E: EnvSide, R: RtlSide + Send> Synchronizer<E, R> {
             let t0 = Instant::now();
             env.step_frames(frames);
             let env_wall = t0.elapsed();
-            (env_wall, worker.join().expect("RTL quantum worker panicked"))
+            // A panicking RTL endpoint re-raises its own payload on the
+            // driving thread rather than a second, less informative panic
+            // from expect() (PANIC001: no new panic sites in the quantum).
+            let rtl_wall = worker
+                .join()
+                .unwrap_or_else(|cause| std::panic::resume_unwind(cause));
+            (env_wall, rtl_wall)
         });
         let quantum_wall = quantum_started.elapsed();
         self.stats.env_wall += env_wall;
@@ -603,7 +610,11 @@ impl<T: Transport> RtlSide for RemoteRtl<T> {
             self.latch_fault(e);
             return;
         }
-        // Wait for completion, collecting data the SoC emitted.
+        // Wait for completion, collecting data the SoC emitted. A packet
+        // the protocol does not accept here latches a fault like any other
+        // transport failure — the peer is confused or hostile either way,
+        // and a panic would tear down the whole co-simulation instead of
+        // winding the mission down at the next sync boundary.
         loop {
             match self.transport.recv() {
                 Ok(Packet::Data(payload)) => self.inbox.push(payload),
@@ -612,7 +623,13 @@ impl<T: Transport> RtlSide for RemoteRtl<T> {
                     self.halted = true;
                     break;
                 }
-                Ok(other) => panic!("unexpected packet from RTL server: {other:?}"),
+                Ok(other) => {
+                    self.latch_fault(TransportError::Protocol {
+                        got: other.kind_name(),
+                        at: "synchronizer",
+                    });
+                    return;
+                }
                 Err(e) => {
                     self.latch_fault(e);
                     return;
@@ -647,7 +664,10 @@ impl<T: Transport> RtlSide for RemoteRtl<T> {
 ///
 /// # Errors
 ///
-/// Returns the first transport error other than an orderly disconnect.
+/// Returns the first transport error other than an orderly disconnect,
+/// including [`TransportError::Protocol`] when the client sends a packet
+/// the server role does not accept (the server must never panic on peer
+/// input — it is the long-lived process next to the RTL simulation).
 pub fn serve_rtl<T: Transport, R: RtlSide>(
     transport: &mut T,
     rtl: &mut R,
@@ -663,7 +683,12 @@ pub fn serve_rtl<T: Transport, R: RtlSide>(
                 transport.send(&Packet::CyclesDone { cycles })?;
             }
             Ok(Packet::Shutdown) => return Ok(()),
-            Ok(other) => panic!("unexpected packet at RTL server: {other:?}"),
+            Ok(other) => {
+                return Err(TransportError::Protocol {
+                    got: other.kind_name(),
+                    at: "RTL server",
+                })
+            }
             Err(TransportError::Disconnected) => return Ok(()),
             Err(e) => return Err(e),
         }
@@ -1010,6 +1035,64 @@ mod tests {
             "fault must not lose or double-count queued packets"
         );
         assert_eq!(remote.pending_tx(), 1, "the failed period's payload stays queued");
+    }
+
+    /// A peer that answers a grant with a packet the synchronizer role
+    /// never accepts must latch a `Protocol` fault and wind down — not
+    /// panic (PANIC001: peer input is never trusted).
+    #[test]
+    fn unexpected_packet_latches_protocol_fault() {
+        let (client, mut server) = ChannelTransport::pair();
+        let server_thread = thread::spawn(move || {
+            // Answer the first grant with a grant of our own.
+            loop {
+                match server.recv() {
+                    Ok(Packet::GrantCycles { .. }) => {
+                        let _ = server.send(&Packet::GrantCycles { cycles: 1 });
+                        break;
+                    }
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            server
+        });
+
+        let mut sync = Synchronizer::new(config(1), EchoEnv::default(), RemoteRtl::new(client));
+        let result = sync.try_run_until(10, |_, _| false);
+        assert!(
+            matches!(
+                result,
+                Err(TransportError::Protocol {
+                    got: "GrantCycles",
+                    ..
+                })
+            ),
+            "got {result:?}"
+        );
+        assert!(sync.rtl().halted(), "protocol fault halts the mission loop");
+        drop(server_thread.join());
+    }
+
+    /// The server side mirrors the same contract: a client speaking the
+    /// wrong role returns a `Protocol` error from `serve_rtl` instead of
+    /// killing the bridge-driver process.
+    #[test]
+    fn serve_rtl_rejects_wrong_role_packets() {
+        let (mut client, mut server) = ChannelTransport::pair();
+        client.send(&Packet::CyclesDone { cycles: 7 }).unwrap();
+        let mut rtl = LoopRtl::default();
+        let result = serve_rtl(&mut server, &mut rtl);
+        assert!(
+            matches!(
+                result,
+                Err(TransportError::Protocol {
+                    got: "CyclesDone",
+                    at: "RTL server",
+                })
+            ),
+            "got {result:?}"
+        );
     }
 
     /// A transport that dies mid-outbox must keep the unsent payloads

@@ -20,6 +20,16 @@ pub enum TransportError {
     Decode(DecodeError),
     /// An I/O error occurred.
     Io(io::Error),
+    /// A well-formed packet arrived that the protocol state machine does
+    /// not accept here (e.g. a `GrantCycles` at the synchronizer side).
+    /// Latched instead of panicking so a confused or malicious peer winds
+    /// the mission down through the ordinary fault path (PANIC001).
+    Protocol {
+        /// The kind of packet that arrived.
+        got: &'static str,
+        /// Where it arrived (which endpoint rejected it).
+        at: &'static str,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -28,6 +38,9 @@ impl std::fmt::Display for TransportError {
             TransportError::Disconnected => write!(f, "peer disconnected"),
             TransportError::Decode(e) => write!(f, "decode error: {e}"),
             TransportError::Io(e) => write!(f, "io error: {e}"),
+            TransportError::Protocol { got, at } => {
+                write!(f, "protocol error: unexpected {got} packet at {at}")
+            }
         }
     }
 }

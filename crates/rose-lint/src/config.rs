@@ -1,0 +1,179 @@
+//! The `rose-lint.toml` allowlist.
+//!
+//! A deliberately tiny TOML subset — one `[allow]` table whose keys are
+//! rule identifiers and whose values are arrays of workspace-relative path
+//! prefixes:
+//!
+//! ```toml
+//! [allow]
+//! DET001 = ["crates/rose-bridge/src/sync.rs", "crates/bench/src"]
+//! ```
+//!
+//! A file matching a prefix is exempt from that rule wholesale (for
+//! whole-file exemptions like the synchronizer's wall-time throughput
+//! stats); single-line exemptions use `// rose-lint: allow(RULE, reason)`
+//! annotations instead, which are handled in [`crate::lint_source`].
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed allowlist configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Rule id → workspace-relative path prefixes exempt from it.
+    allows: BTreeMap<String, Vec<String>>,
+}
+
+/// A configuration parse failure, with the offending 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rose-lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses the configuration text.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] on an unknown section, a malformed entry, or an
+    /// entry outside any section.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        let mut in_allow = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let name = section.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line: lineno,
+                    message: format!("unterminated section header {raw:?}"),
+                })?;
+                match name.trim() {
+                    "allow" => in_allow = true,
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown section [{other}]"),
+                        })
+                    }
+                }
+                continue;
+            }
+            if !in_allow {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: "entry outside [allow] section".into(),
+                });
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("expected RULE = [..], got {line:?}"),
+            })?;
+            let paths = parse_string_array(value.trim()).ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("expected a [\"path\", ..] array, got {:?}", value.trim()),
+            })?;
+            config
+                .allows
+                .entry(key.trim().to_string())
+                .or_default()
+                .extend(paths);
+        }
+        Ok(config)
+    }
+
+    /// Loads `rose-lint.toml` from `path`; a missing file is an empty
+    /// (allow-nothing) configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the file exists but does not parse.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Config::parse(&text),
+            Err(_) => Ok(Config::default()),
+        }
+    }
+
+    /// True when `rel_path` is exempt from `rule` by prefix match.
+    pub fn is_allowed(&self, rule: &str, rel_path: &str) -> bool {
+        // Normalize Windows-style separators so prefixes always compare
+        // against forward slashes.
+        let normalized = rel_path.replace('\\', "/");
+        self.allows
+            .get(rule)
+            .is_some_and(|prefixes| matches_any_prefix(&normalized, prefixes))
+    }
+}
+
+/// Prefix matching with a path-component boundary: `crates/bench/src`
+/// matches `crates/bench/src/lib.rs` but not `crates/bench/srcfoo.rs`.
+fn matches_any_prefix(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| {
+        let p = p.trim_end_matches('/');
+        path == p
+            || path
+                .strip_prefix(p)
+                .is_some_and(|rest| rest.starts_with('/'))
+    })
+}
+
+/// Parses `["a", "b"]` into its strings; `None` on malformed input.
+fn parse_string_array(text: &str) -> Option<Vec<String>> {
+    let inner = text.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        let s = part.strip_prefix('"')?.strip_suffix('"')?;
+        out.push(s.to_string());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allow_table() {
+        let config = Config::parse(
+            "# comment\n[allow]\nDET001 = [\"crates/rose-bridge/src/sync.rs\", \"crates/bench/src\"]\n",
+        )
+        .unwrap();
+        assert!(config.is_allowed("DET001", "crates/rose-bridge/src/sync.rs"));
+        assert!(config.is_allowed("DET001", "crates/bench/src/lib.rs"));
+        assert!(!config.is_allowed("DET001", "crates/bench/srcfoo.rs"));
+        assert!(!config.is_allowed("DET002", "crates/bench/src/lib.rs"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Config::parse("[allow\n").is_err());
+        assert!(Config::parse("[unknown]\n").is_err());
+        assert!(Config::parse("DET001 = []\n").is_err()); // outside a section
+        assert!(Config::parse("[allow]\nDET001 = nope\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_missing_are_allow_nothing() {
+        let config = Config::parse("").unwrap();
+        assert!(!config.is_allowed("DET001", "crates/rose-bridge/src/sync.rs"));
+        let missing = Config::load(Path::new("/nonexistent/rose-lint.toml")).unwrap();
+        assert!(!missing.is_allowed("DET001", "anything.rs"));
+    }
+}

@@ -1,0 +1,288 @@
+//! rose-lint: the workspace determinism & fault-safety contract, enforced.
+//!
+//! The RoSÉ reproduction promises bit-identical missions for identical
+//! configs (see `rose::audit`). That promise is easy to break one line at
+//! a time — a `HashMap` drain here, an `Instant::now()` there — so this
+//! crate scans the workspace source with a hand-rolled Rust lexer
+//! ([`lexer`]) and flags the five contract violations a token stream can
+//! reveal ([`rules`]):
+//!
+//! | rule     | violation                                             |
+//! |----------|-------------------------------------------------------|
+//! | DET001   | wall-clock reads (`Instant::now`, `SystemTime`)       |
+//! | DET002   | unordered maps (`HashMap`/`HashSet`) in sim crates    |
+//! | PANIC001 | `unwrap`/`expect`/`panic!` on transport/bridge paths  |
+//! | TRACE001 | unpaired `span_begin*`/`span_end*` calls              |
+//! | CAST001  | truncating `as` casts in cycle arithmetic             |
+//!
+//! Suppression is always explicit: file-level via `rose-lint.toml`
+//! ([`config`]), or line-level via `// rose-lint: allow(RULE, reason)` —
+//! the reason is mandatory, and an annotation without one is itself a
+//! finding (ANN001).
+//!
+//! No dependencies, no `proc-macro`, no `syn`: the linter runs in an
+//! offline container before anything else builds.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError};
+pub use rules::{Finding, ALL_RULES};
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One reported violation, with its file attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// The underlying finding.
+    pub finding: Finding,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.finding.line, self.finding.rule, self.finding.message
+        )
+    }
+}
+
+/// A parsed `// rose-lint: allow(RULE, reason)` annotation.
+#[derive(Debug)]
+struct Allow {
+    line: usize,
+    rule: String,
+    has_reason: bool,
+}
+
+/// Extracts allow annotations from a file's comments. A comment that
+/// starts with `rose-lint:` but does not parse as `allow(RULE, reason)`
+/// yields an ANN001 finding, as does one with an empty reason.
+fn parse_allows(comments: &[(usize, String)]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for (line, text) in comments {
+        let Some(rest) = text.strip_prefix("rose-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|inner| inner.strip_suffix(')'));
+        let Some(inner) = parsed else {
+            findings.push(Finding {
+                rule: "ANN001",
+                line: *line,
+                message: format!(
+                    "malformed annotation {text:?}; expected \
+                     // rose-lint: allow(RULE, reason)"
+                ),
+            });
+            continue;
+        };
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        let has_reason = !reason.is_empty();
+        if !has_reason {
+            findings.push(Finding {
+                rule: "ANN001",
+                line: *line,
+                message: format!(
+                    "allow({rule}) without a reason; the reason is mandatory — \
+                     state the invariant that makes the violation safe"
+                ),
+            });
+        }
+        allows.push(Allow {
+            line: *line,
+            rule: rule.to_string(),
+            has_reason,
+        });
+    }
+    (allows, findings)
+}
+
+/// Lints one file's source text.
+///
+/// `rel_path` selects which rules are in scope (see
+/// [`rules::applies_to`]); `all_rules` forces every rule in scope (used by
+/// the self-test fixture). An annotation suppresses findings of its rule
+/// on the annotation's own line and the line directly below it — and only
+/// if it carries a reason.
+pub fn lint_source(rel_path: &str, source: &str, config: &Config, all_rules: bool) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let (allows, mut findings) = parse_allows(&lexed.comments);
+    let raw = rules::run_rules(rel_path, &lexed, all_rules);
+    for finding in raw {
+        if config.is_allowed(finding.rule, rel_path) {
+            continue;
+        }
+        let suppressed = allows.iter().any(|a| {
+            a.has_reason
+                && a.rule == finding.rule
+                && (finding.line == a.line || finding.line == a.line + 1)
+        });
+        if !suppressed {
+            findings.push(finding);
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// The directories below the workspace root that are linted: the root
+/// package's `src/` and every crate's `src/`. `target/`, `shims/` (stub
+/// code for absent registry deps), tests, benches, and the lint fixtures
+/// are all outside these roots by construction.
+fn lint_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    roots
+}
+
+/// Recursively collects `.rs` files under `dir` into `out` (sorted set:
+/// the lint's own output order must be deterministic, of course).
+fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.insert(path);
+        }
+    }
+}
+
+/// Lints every source file in the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// An unreadable source file is reported as an error string; findings are
+/// never errors (they are the *output*).
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let mut files = BTreeSet::new();
+    for lint_root in lint_roots(root) {
+        collect_rs(&lint_root, &mut files);
+    }
+    let mut diagnostics = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        for finding in lint_source(&rel, &source, config, false) {
+            diagnostics.push(Diagnostic {
+                file: rel.clone(),
+                finding,
+            });
+        }
+    }
+    Ok(diagnostics)
+}
+
+/// The seeded-violation fixture used by `--self-test` (and CI) to prove
+/// the linter still detects every rule it claims to.
+pub const SELF_TEST_FIXTURE: &str = include_str!("../fixtures/seeded.rs");
+
+/// Lints the embedded fixture with every rule in scope and no allowlist.
+pub fn lint_self_test_fixture() -> Vec<Finding> {
+    lint_source(
+        "crates/rose-lint/fixtures/seeded.rs",
+        SELF_TEST_FIXTURE,
+        &Config::default(),
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_with_reason_suppresses_own_and_next_line() {
+        let src = "\
+// rose-lint: allow(PANIC001, the tag was validated two lines up)
+let v = x.unwrap();
+let w = y.unwrap();
+";
+        let found = lint_source("crates/rose-bridge/src/x.rs", src, &Config::default(), false);
+        // Line 2 suppressed; line 3 still fires.
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+        assert_eq!(found[0].rule, "PANIC001");
+    }
+
+    #[test]
+    fn annotation_without_reason_does_not_suppress_and_is_flagged() {
+        let src = "// rose-lint: allow(PANIC001)\nlet v = x.unwrap();\n";
+        let found = lint_source("crates/rose-bridge/src/x.rs", src, &Config::default(), false);
+        let rules: Vec<&str> = found.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["ANN001", "PANIC001"]);
+    }
+
+    #[test]
+    fn annotation_for_the_wrong_rule_does_not_suppress() {
+        let src = "// rose-lint: allow(DET001, not the right rule)\nlet v = x.unwrap();\n";
+        let found = lint_source("crates/rose-bridge/src/x.rs", src, &Config::default(), false);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "PANIC001");
+    }
+
+    #[test]
+    fn malformed_annotation_is_flagged() {
+        let src = "// rose-lint: alow(PANIC001, typo)\nlet a = 1;\n";
+        let found = lint_source("crates/rose-bridge/src/x.rs", src, &Config::default(), false);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "ANN001");
+    }
+
+    #[test]
+    fn config_allowlist_exempts_whole_files() {
+        let config = Config::parse("[allow]\nDET001 = [\"crates/rose-bridge/src/sync.rs\"]\n").unwrap();
+        let src = "let t = Instant::now();\n";
+        assert!(lint_source("crates/rose-bridge/src/sync.rs", src, &config, false).is_empty());
+        assert_eq!(
+            lint_source("crates/rose-bridge/src/other.rs", src, &config, false).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn self_test_fixture_trips_every_rule() {
+        let findings = lint_self_test_fixture();
+        for rule in ALL_RULES {
+            assert!(
+                findings.iter().any(|f| f.rule == *rule),
+                "fixture must contain a seeded {rule} violation; found {findings:?}"
+            );
+        }
+        // And the fixture's negative half must NOT fire: the annotated
+        // unwrap and the balanced span function are clean.
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.rule == "PANIC001" && f.message.contains("expect")),
+            "the annotated expect() in the fixture must be suppressed"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! The rose-lint command line.
+//!
+//! ```text
+//! rose-lint [--root DIR] [--config FILE] [--self-test] [--list-rules]
+//! ```
+//!
+//! * default: lint the workspace at `--root` (default `.`, which is the
+//!   workspace root under `cargo run -p rose-lint`), honoring the
+//!   `rose-lint.toml` allowlist. Exit 0 when clean, 1 on any violation.
+//! * `--self-test`: lint the embedded seeded-violation fixture with every
+//!   rule in scope. Exits 1 when every rule fired (the fixture's
+//!   violations were detected — the expected outcome, which CI asserts as
+//!   a non-zero exit), 2 if any rule failed to fire (the linter itself is
+//!   broken).
+//! * `--list-rules`: print the rule table and exit 0.
+
+use rose_lint::{lint_self_test_fixture, lint_workspace, Config, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: rose-lint [--root DIR] [--config FILE] [--self-test] [--list-rules]");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut list_rules = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = it.next().unwrap_or_else(|| usage()).into(),
+            "--config" => config_path = Some(it.next().unwrap_or_else(|| usage()).into()),
+            "--self-test" => self_test = true,
+            "--list-rules" => list_rules = true,
+            _ => usage(),
+        }
+    }
+
+    if list_rules {
+        println!("DET001   wall-clock reads (Instant::now / SystemTime) in simulation logic");
+        println!("DET002   HashMap/HashSet in simulation crates (use BTreeMap/BTreeSet)");
+        println!("PANIC001 unwrap/expect/panic! on transport/bridge/synchronizer paths");
+        println!("TRACE001 unpaired span_begin*/span_end* calls within a function");
+        println!("CAST001  truncating `as` casts in cycle arithmetic (widen via u128)");
+        println!("ANN001   malformed or reasonless rose-lint allow annotation");
+        return ExitCode::SUCCESS;
+    }
+
+    if self_test {
+        let findings = lint_self_test_fixture();
+        for f in &findings {
+            println!("fixtures/seeded.rs:{}: {} {}", f.line, f.rule, f.message);
+        }
+        let mut broken = false;
+        for rule in ALL_RULES {
+            let hits = findings.iter().filter(|f| f.rule == *rule).count();
+            if hits == 0 {
+                eprintln!("self-test BROKEN: rule {rule} did not fire on the seeded fixture");
+                broken = true;
+            } else {
+                println!("self-test: {rule} fired {hits}x");
+            }
+        }
+        if broken {
+            return ExitCode::from(2);
+        }
+        println!(
+            "self-test: all {} rules detected their seeded violations \
+             (exiting non-zero, as a lint of this fixture must)",
+            ALL_RULES.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("rose-lint.toml"));
+    let config = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match lint_workspace(&root, &config) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("rose-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            eprintln!("rose-lint: {} violation(s)", diagnostics.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! The determinism & fault-safety rules.
+//!
+//! Each rule is a pure function over a lexed token stream plus a test-code
+//! mask; rules know their own file scope (`applies_to`). The full contract
+//! with rationale lives in `DESIGN.md` § "Determinism contract".
+
+use crate::lexer::{Lexed, Tok, Token};
+
+/// One lint finding, before allow-annotation filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`DET001`, ...).
+    pub rule: &'static str,
+    /// 1-based line of the violation.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Crates whose `src/` trees model simulated state — any data-dependent
+/// iteration there must be deterministically ordered (DET002 scope).
+const SIM_CRATES: &[&str] = &[
+    "crates/sim-core/src",
+    "crates/envsim/src",
+    "crates/socsim/src",
+    "crates/dnn/src",
+    "crates/flightctl/src",
+    "crates/rose/src",
+    "crates/rose-bridge/src",
+];
+
+/// Files doing cycle/frame arithmetic, where a truncating `as` cast can
+/// silently corrupt simulated time (CAST001 scope).
+const CYCLE_ARITH_FILES: &[&str] = &[
+    "crates/sim-core/src/cycles.rs",
+    "crates/trace/src/clock.rs",
+    "crates/rose-bridge/src/sync.rs",
+];
+
+/// Paths where a panic is a protocol hole, not a programming aid: the
+/// transport/bridge/synchronizer hot paths must latch faults instead
+/// (PANIC001 scope).
+const FAULT_PATH_PREFIXES: &[&str] = &["crates/rose-bridge/src", "crates/socsim/src/bridge.rs"];
+
+/// Integer types an `as` cast can truncate or wrap into. `u128`/`i128`
+/// (the sanctioned exact path) and float targets are exempt.
+const TRUNCATING_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
+];
+
+/// All rule identifiers, in report order.
+pub const ALL_RULES: &[&str] = &["DET001", "DET002", "PANIC001", "TRACE001", "CAST001", "ANN001"];
+
+fn path_in(rel_path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| {
+        rel_path == *p
+            || rel_path
+                .strip_prefix(p)
+                .is_some_and(|rest| rest.starts_with('/'))
+    })
+}
+
+/// True when `rule` applies to `rel_path` at all (before config
+/// allowlisting). `all_rules` forces every rule in scope (self-test).
+pub fn applies_to(rule: &str, rel_path: &str, all_rules: bool) -> bool {
+    if all_rules {
+        return true;
+    }
+    match rule {
+        "DET001" | "TRACE001" | "ANN001" => true,
+        "DET002" => path_in(rel_path, SIM_CRATES),
+        "PANIC001" => path_in(rel_path, FAULT_PATH_PREFIXES),
+        "CAST001" => CYCLE_ARITH_FILES.contains(&rel_path),
+        _ => false,
+    }
+}
+
+/// Computes, per token index, whether the token sits inside test-only
+/// code: a `#[cfg(test)]` module body or a `#[test]` function body.
+/// The determinism contract governs simulation logic; tests may use
+/// wall-clock timeouts and `unwrap()` freely.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = match_test_attr(tokens, i) {
+            // Find the body's opening brace (skipping the item header),
+            // then mark the whole brace-balanced region.
+            let mut j = attr_end;
+            while j < tokens.len() && tokens[j].tok != Tok::Punct("{") {
+                j += 1;
+            }
+            if j < tokens.len() {
+                let mut depth = 0usize;
+                let start = i;
+                while j < tokens.len() {
+                    match &tokens[j].tok {
+                        Tok::Punct("{") => depth += 1,
+                        Tok::Punct("}") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                for m in mask.iter_mut().take(j.min(tokens.len() - 1) + 1).skip(start) {
+                    *m = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Matches `#[cfg(test)]` or `#[test]` starting at `i`; returns the index
+/// just past the closing `]`.
+fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.tok != Tok::Punct("#") || tokens.get(i + 1)?.tok != Tok::Punct("[") {
+        return None;
+    }
+    match &tokens.get(i + 2)?.tok {
+        Tok::Ident(s) if s == "test" => {
+            (tokens.get(i + 3)?.tok == Tok::Punct("]")).then_some(i + 4)
+        }
+        Tok::Ident(s) if s == "cfg" => {
+            let seq = [
+                Tok::Punct("("),
+                Tok::Ident("test".into()),
+                Tok::Punct(")"),
+                Tok::Punct("]"),
+            ];
+            for (k, want) in seq.iter().enumerate() {
+                if &tokens.get(i + 3 + k)?.tok != want {
+                    return None;
+                }
+            }
+            Some(i + 7)
+        }
+        _ => None,
+    }
+}
+
+fn ident(tok: &Token) -> Option<&str> {
+    match &tok.tok {
+        Tok::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Runs every in-scope rule over one lexed file.
+pub fn run_rules(rel_path: &str, lexed: &Lexed, all_rules: bool) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mask = test_mask(tokens);
+    let mut findings = Vec::new();
+
+    let live = |i: usize| !mask[i];
+
+    if applies_to("DET001", rel_path, all_rules) {
+        findings.extend(det001(tokens, &live));
+    }
+    if applies_to("DET002", rel_path, all_rules) {
+        findings.extend(det002(tokens, &live));
+    }
+    if applies_to("PANIC001", rel_path, all_rules) {
+        findings.extend(panic001(tokens, &live));
+    }
+    if applies_to("TRACE001", rel_path, all_rules) {
+        findings.extend(trace001(tokens, &live));
+    }
+    if applies_to("CAST001", rel_path, all_rules) {
+        findings.extend(cast001(tokens, &live));
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// DET001 — no wall-clock reads in simulation logic. `Instant::now()` and
+/// any use of `SystemTime` make behavior depend on host scheduling; the
+/// whitelist (rose-lint.toml) covers the synchronizer's throughput stats,
+/// which measure the *host*, by design.
+fn det001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !live(i) {
+            continue;
+        }
+        if ident(&tokens[i]) == Some("Instant")
+            && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct("::"))
+            && tokens.get(i + 2).and_then(ident) == Some("now")
+        {
+            out.push(Finding {
+                rule: "DET001",
+                line: tokens[i].line,
+                message: "wall-clock read (Instant::now) in simulation logic; \
+                          derive time from cycles/frames, or whitelist the file \
+                          in rose-lint.toml if it measures the host on purpose"
+                    .into(),
+            });
+        }
+        if ident(&tokens[i]) == Some("SystemTime") {
+            out.push(Finding {
+                rule: "DET001",
+                line: tokens[i].line,
+                message: "SystemTime in simulation logic; wall time is \
+                          nondeterministic across runs"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// DET002 — no unordered maps in simulation state. `HashMap`/`HashSet`
+/// iteration order varies with hasher seeding and insertion history;
+/// draining one into stats, traces, or packets perturbs downstream bits.
+/// `BTreeMap`/`BTreeSet` give the same ordering on every run.
+fn det002(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if !live(i) {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = ident(token) {
+            let replacement = if name == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+            out.push(Finding {
+                rule: "DET002",
+                line: token.line,
+                message: format!(
+                    "{name} in a simulation crate: iteration order is \
+                     nondeterministic; use {replacement}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// PANIC001 — no panics on the transport/bridge/synchronizer hot paths.
+/// A panic mid-quantum poisons the lockstep (the peer blocks forever on a
+/// reply that never comes); faults must latch via `TransportError` /
+/// `RtlSide::take_fault` so the mission winds down and reports.
+fn panic001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !live(i) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` method calls.
+        if tokens[i].tok == Tok::Punct(".")
+            && matches!(tokens.get(i + 1).and_then(ident), Some("unwrap") | Some("expect"))
+            && tokens.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct("("))
+        {
+            let which = ident(&tokens[i + 1]).unwrap_or("unwrap");
+            out.push(Finding {
+                rule: "PANIC001",
+                line: tokens[i + 1].line,
+                message: format!(
+                    ".{which}() on the fault path: a panic here deadlocks the \
+                     lockstep peer; latch a TransportError instead, or annotate \
+                     with // rose-lint: allow(PANIC001, reason)"
+                ),
+            });
+        }
+        // `panic!(` and friends.
+        if let Some(name) = ident(&tokens[i]) {
+            if MACROS.contains(&name)
+                && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct("!"))
+            {
+                out.push(Finding {
+                    rule: "PANIC001",
+                    line: tokens[i].line,
+                    message: format!(
+                        "{name}! on the fault path: latch a TransportError \
+                         instead, or annotate with // rose-lint: allow(PANIC001, reason)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// TRACE001 — paired spans stay paired. Within each function body the
+/// number of `span_begin*` calls must equal the number of `span_end*`
+/// calls; an unmatched begin corrupts the trace's span nesting for every
+/// event that follows (and `TraceLog::unpaired_spans` will flag the run).
+fn trace001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if ident(&tokens[i]) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = tokens[i].line;
+        let fn_name = tokens.get(i + 1).and_then(ident).unwrap_or("?").to_string();
+        // Scan the signature for the body `{` or a bodiless `;`, tracking
+        // bracket depth so `[u8; 4]` defaults don't end the signature.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let body_start = loop {
+            match tokens.get(j).map(|t| &t.tok) {
+                None => break None,
+                Some(Tok::Punct("(")) | Some(Tok::Punct("[")) => depth += 1,
+                Some(Tok::Punct(")")) | Some(Tok::Punct("]")) => depth -= 1,
+                Some(Tok::Punct(";")) if depth == 0 => break None,
+                Some(Tok::Punct("{")) if depth == 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(body_start) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        // Walk the brace-balanced body, counting span call sites.
+        let mut begins = 0usize;
+        let mut ends = 0usize;
+        let mut brace = 0i32;
+        let mut k = body_start;
+        while k < tokens.len() {
+            match &tokens[k].tok {
+                Tok::Punct("{") => brace += 1,
+                Tok::Punct("}") => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(name)
+                    if live(k)
+                        && tokens.get(k + 1).map(|t| &t.tok) == Some(&Tok::Punct("("))
+                        && ident(&tokens[k - 1]) != Some("fn") =>
+                {
+                    if name.starts_with("span_begin") {
+                        begins += 1;
+                    } else if name.starts_with("span_end") {
+                        ends += 1;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if begins != ends && live(i) {
+            out.push(Finding {
+                rule: "TRACE001",
+                line: fn_line,
+                message: format!(
+                    "fn {fn_name} opens {begins} trace span(s) but closes {ends}; \
+                     every span_begin* needs a matching span_end* on every path"
+                ),
+            });
+        }
+        i = k + 1;
+    }
+    out
+}
+
+/// CAST001 — no truncating `as` casts in cycle arithmetic. Simulated time
+/// is u64 cycles; products like `frames * hz` overflow u64 at plausible
+/// configs, so the sanctioned pattern widens through u128 and only
+/// narrows after a bounds-checked divide (see `Clocks::cycles_for_frames`).
+/// Casts to u128/i128 or floats are exempt; anything else needs an
+/// annotation naming the invariant that makes it lossless.
+fn cast001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !live(i) {
+            continue;
+        }
+        if ident(&tokens[i]) == Some("as") {
+            if let Some(target) = tokens.get(i + 1).and_then(ident) {
+                if TRUNCATING_TARGETS.contains(&target) {
+                    out.push(Finding {
+                        rule: "CAST001",
+                        line: tokens[i].line,
+                        message: format!(
+                            "`as {target}` in cycle arithmetic can truncate; widen \
+                             through u128 (see Clocks::cycles_for_frames) or annotate \
+                             with // rose-lint: allow(CAST001, reason)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(rule: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        run_rules("fixture.rs", &lexed, true)
+            .into_iter()
+            .filter(|f| f.rule == rule)
+            .collect()
+    }
+
+    // DET001 ---------------------------------------------------------------
+
+    #[test]
+    fn det001_flags_wall_clock() {
+        assert_eq!(findings("DET001", "let t = Instant::now();").len(), 1);
+        assert_eq!(
+            findings("DET001", "let t = std::time::Instant::now();").len(),
+            1
+        );
+        assert_eq!(findings("DET001", "use std::time::SystemTime;").len(), 1);
+    }
+
+    #[test]
+    fn det001_ignores_the_event_kind_and_tests() {
+        // `EventKind::Instant` is an enum variant, not a clock read.
+        assert!(findings("DET001", "let k = EventKind::Instant;").is_empty());
+        assert!(findings("DET001", "started: Instant,").is_empty());
+        assert!(findings(
+            "DET001",
+            "#[cfg(test)]\nmod tests {\n fn t() { let x = Instant::now(); }\n}"
+        )
+        .is_empty());
+    }
+
+    // DET002 ---------------------------------------------------------------
+
+    #[test]
+    fn det002_flags_unordered_maps() {
+        assert_eq!(
+            findings("DET002", "use std::collections::HashMap;").len(),
+            1
+        );
+        assert_eq!(findings("DET002", "let s: HashSet<u32> = x;").len(), 1);
+    }
+
+    #[test]
+    fn det002_accepts_btree_and_comments() {
+        assert!(findings("DET002", "use std::collections::BTreeMap;").is_empty());
+        assert!(findings("DET002", "// a HashMap here would be wrong").is_empty());
+        assert!(findings("DET002", r#"let s = "HashMap";"#).is_empty());
+    }
+
+    // PANIC001 -------------------------------------------------------------
+
+    #[test]
+    fn panic001_flags_panic_family() {
+        assert_eq!(findings("PANIC001", "let v = rx.recv().unwrap();").len(), 1);
+        assert_eq!(findings("PANIC001", "let v = x.expect(\"boom\");").len(), 1);
+        assert_eq!(findings("PANIC001", "panic!(\"bad packet\");").len(), 1);
+        assert_eq!(findings("PANIC001", "_ => unreachable!(),").len(), 1);
+        assert_eq!(findings("PANIC001", "todo!()").len(), 1);
+    }
+
+    #[test]
+    fn panic001_ignores_tests_and_lookalikes() {
+        assert!(findings(
+            "PANIC001",
+            "#[test]\nfn roundtrip() { decode(&b).unwrap(); }"
+        )
+        .is_empty());
+        // `unwrap_or_else` is a different method; a lexer knows that, a
+        // substring grep would not.
+        assert!(findings("PANIC001", "worker.join().unwrap_or_else(|c| c);").is_empty());
+        assert!(findings("PANIC001", "let unwrap = 3; f(unwrap);").is_empty());
+    }
+
+    // TRACE001 -------------------------------------------------------------
+
+    #[test]
+    fn trace001_flags_unbalanced_spans() {
+        let found = findings(
+            "TRACE001",
+            "fn run(&mut self) {\n tracer.span_begin_cycles(t, \"x\", c, vec![]);\n work();\n}",
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("opens 1"));
+    }
+
+    #[test]
+    fn trace001_accepts_balanced_spans_and_definitions() {
+        assert!(findings(
+            "TRACE001",
+            "fn run(&mut self) {\n t.span_begin_cycles(a, b, c, vec![]);\n work();\n t.span_end_cycles(a, b, c);\n}"
+        )
+        .is_empty());
+        // The tracer's own method definitions are signatures, not calls.
+        assert!(findings(
+            "TRACE001",
+            "impl Tracer {\n pub fn span_begin_cycles(&mut self, t: Track) { self.push(t); }\n}"
+        )
+        .is_empty());
+    }
+
+    // CAST001 --------------------------------------------------------------
+
+    #[test]
+    fn cast001_flags_truncating_casts() {
+        assert_eq!(findings("CAST001", "let c = (f * hz) as u64;").len(), 1);
+        assert_eq!(findings("CAST001", "let n = big as u32;").len(), 1);
+        assert_eq!(findings("CAST001", "let n = big as usize;").len(), 1);
+    }
+
+    #[test]
+    fn cast001_exempts_widening_to_u128_and_floats() {
+        assert!(findings("CAST001", "let w = n as u128 * hz as u128;").is_empty());
+        assert!(findings("CAST001", "let r = cycles as f64;").is_empty());
+        // `as` in a use-rename is not a cast target in the truncating set.
+        assert!(findings("CAST001", "use foo::Bar as Baz;").is_empty());
+    }
+
+    // Scope ----------------------------------------------------------------
+
+    #[test]
+    fn rules_respect_file_scope() {
+        assert!(applies_to("DET001", "crates/envsim/src/world.rs", false));
+        assert!(applies_to("DET002", "crates/socsim/src/soc.rs", false));
+        assert!(!applies_to("DET002", "crates/bench/src/lib.rs", false));
+        assert!(applies_to("PANIC001", "crates/rose-bridge/src/sync.rs", false));
+        assert!(applies_to("PANIC001", "crates/socsim/src/bridge.rs", false));
+        assert!(!applies_to("PANIC001", "crates/socsim/src/soc.rs", false));
+        assert!(applies_to("CAST001", "crates/sim-core/src/cycles.rs", false));
+        assert!(!applies_to("CAST001", "crates/sim-core/src/rng.rs", false));
+        assert!(applies_to("CAST001", "crates/sim-core/src/rng.rs", true));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let lexed = lex("fn live() {}\n#[cfg(test)]\nmod tests {\n fn a() { x.unwrap(); }\n}\nfn also_live() {}");
+        let mask = test_mask(&lexed.tokens);
+        let live_idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !mask[*i] && matches!(t.tok, Tok::Ident(_)))
+            .map(|(_, t)| match &t.tok {
+                Tok::Ident(s) => s.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(live_idents, vec!["fn", "live", "fn", "also_live"]);
+    }
+}

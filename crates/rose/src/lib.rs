@@ -46,10 +46,14 @@
 //! * [`deadline`] — the deadline model of Equations 3–5.
 //! * [`mission`] — the mission runner: configures, runs, and reports one
 //!   closed-loop flight.
+//! * [`audit`] — the cross-run determinism auditor: runs a config twice
+//!   and compares FNV digests of trajectory, SoC counters, and trace
+//!   ordering.
 
 #![deny(missing_docs)]
 
 pub mod app;
+pub mod audit;
 pub mod deadline;
 pub mod envside;
 pub mod fusion;

@@ -153,6 +153,7 @@ impl ClockSpec {
 
     /// Converts a duration in seconds to a whole number of cycles (floor).
     pub fn cycles_in(self, seconds: f64) -> u64 {
+        // rose-lint: allow(CAST001, float-to-cycle floor is this API's contract; saturating `as` keeps huge inputs finite)
         (seconds * self.hz as f64) as u64
     }
 }
@@ -249,6 +250,7 @@ impl SyncRatio {
     ///
     /// E.g. a 1 GHz SoC at 60 fps gives 16,666,666 cycles per frame.
     pub fn cycles_per_frame(self) -> u64 {
+        // rose-lint: allow(CAST001, u32 frame rate widens into u64; no truncation possible)
         self.clock.hz() / self.frames.hz() as u64
     }
 
@@ -263,6 +265,7 @@ impl SyncRatio {
     /// the cycle and frame timelines aligned to within one cycle however
     /// the span is partitioned.
     pub fn cycles_for_frames(self, n: u64) -> u64 {
+        // rose-lint: allow(CAST001, the exact u128 path: quotient <= n * hz / frame_hz < 2^64 because frame_hz >= 1 Hz bounds cycles by u64 cycle-time capacity)
         ((n as u128 * self.clock.hz() as u128) / self.frames.hz() as u128) as u64
     }
 

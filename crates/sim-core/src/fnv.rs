@@ -1,0 +1,119 @@
+//! FNV-1a 64-bit hashing for determinism digests.
+//!
+//! The determinism auditor needs a digest that is (a) identical across
+//! runs, platforms, and process layouts, (b) dependency-free, and (c)
+//! cheap enough to fold an entire trajectory and trace log through. The
+//! std `DefaultHasher` guarantees none of the first — its SipHash keys are
+//! randomized per process — so the auditor uses FNV-1a with the canonical
+//! 64-bit offset basis and prime. Floats are folded through their IEEE-754
+//! bit patterns, making the digest bit-exact rather than approximately
+//! equal: any divergence, however small, changes the hash.
+
+/// An incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+/// The FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 {
+            state: OFFSET_BASIS,
+        }
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Fnv64 {
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` (little-endian bytes) into the digest.
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv64 {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Folds an `f64` by bit pattern: two values hash equal iff they are
+    /// bit-identical (distinct NaN payloads and signed zeros differ).
+    pub fn write_f64(&mut self, v: f64) -> &mut Fnv64 {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Folds a string's UTF-8 bytes, length-prefixed so concatenations of
+    /// different splits cannot collide.
+    pub fn write_str(&mut self, s: &str) -> &mut Fnv64 {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes())
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical FNV-1a 64 test vectors (Noll's reference list).
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn float_digests_are_bitwise() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        // 0.0 == -0.0 numerically, but the digest is bit-exact.
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fnv64::new();
+        c.write_f64(1.5);
+        let mut d = Fnv64::new();
+        d.write_f64(1.5);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn length_prefix_separates_strings() {
+        let mut a = Fnv64::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo").write(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+}

@@ -10,6 +10,8 @@
 //!   them (Equation 1 of the paper).
 //! * [`rng`] — seeded, splittable deterministic random number generation so
 //!   that a simulation seed reproduces a trajectory bit-exactly.
+//! * [`fnv`] — platform-stable FNV-1a hashing, the digest primitive behind
+//!   the cross-run determinism auditor.
 //! * [`math`] — the small amount of 3-D math a quadrotor simulation needs:
 //!   [`math::Vec3`], [`math::Quat`], and helpers.
 //! * [`pid`] — a production-style PID controller with output limits and
@@ -35,12 +37,14 @@
 
 pub mod csv;
 pub mod cycles;
+pub mod fnv;
 pub mod math;
 pub mod pid;
 pub mod rng;
 pub mod stats;
 
 pub use cycles::{ClockSpec, Cycle, Frame, FrameSpec, SimTime, SyncRatio};
+pub use fnv::Fnv64;
 pub use math::{Quat, Vec3};
 pub use pid::Pid;
 pub use rng::SimRng;

@@ -63,7 +63,7 @@ impl GemminiConfig {
 }
 
 /// A convolution shape (NCHW, square kernels, `same`-style padding).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ConvShape {
     /// Input channels.
     pub in_c: usize,

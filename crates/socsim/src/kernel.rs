@@ -123,7 +123,7 @@ impl Instr {
 }
 
 /// Elementwise operation kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ElemKind {
     /// `max(0, x)`.
     Relu,
@@ -140,7 +140,7 @@ pub enum ElemKind {
 /// Kernels are descriptors: the cycle cost is obtained by expanding the
 /// kernel to an instruction stream and running it through a CPU timing
 /// model against the memory hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Kernel {
     /// Dense f32 matrix multiply `C[m×n] += A[m×k] · B[k×n]`, naive ikj
     /// order (the CPU fallback path for accelerator-less SoCs).

@@ -15,7 +15,7 @@ use crate::kernel::Kernel;
 use crate::mem::{CacheStats, MemSystem};
 use crate::program::{ProgContext, TargetOp, TargetProgram};
 use rose_trace::{ArgValue, MetricRegistry, MetricSource, Track, TraceEvent, Tracer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate SoC execution statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -119,9 +119,12 @@ pub struct Soc {
     /// Recv / backpressured Send).
     blocked: Option<TargetOp>,
     inbox: Option<Vec<u8>>,
-    kernel_costs: HashMap<Kernel, (u64, u64)>,
-    conv_costs: HashMap<ConvShape, AccelRun>,
-    matmul_costs: HashMap<(usize, usize, usize), AccelRun>,
+    // Cost caches are BTreeMaps (DET002): nothing iterates them today, but
+    // a HashMap here would make any future drain/debug-dump depend on
+    // SipHash's per-process key, silently breaking run-to-run determinism.
+    kernel_costs: BTreeMap<Kernel, (u64, u64)>,
+    conv_costs: BTreeMap<ConvShape, AccelRun>,
+    matmul_costs: BTreeMap<(usize, usize, usize), AccelRun>,
     tracer: Tracer,
 }
 
@@ -150,9 +153,9 @@ impl Soc {
             pending: None,
             blocked: None,
             inbox: None,
-            kernel_costs: HashMap::new(),
-            conv_costs: HashMap::new(),
-            matmul_costs: HashMap::new(),
+            kernel_costs: BTreeMap::new(),
+            conv_costs: BTreeMap::new(),
+            matmul_costs: BTreeMap::new(),
             tracer: Tracer::disabled(),
             config,
         }
@@ -297,7 +300,19 @@ impl Soc {
 
     /// Runs until the bridge budget is exhausted.
     pub fn run_granted(&mut self) {
+        if self.tracer.is_enabled() {
+            let budget = self.bridge.budget();
+            self.tracer.span_begin_cycles(
+                Track::SocCpu,
+                "soc-grant",
+                self.now,
+                vec![("budget", ArgValue::U64(budget))],
+            );
+        }
         self.run_granted_inner();
+        if self.tracer.is_enabled() {
+            self.tracer.span_end_cycles(Track::SocCpu, "soc-grant", self.now);
+        }
         // One counter sample per grant: the contention/occupancy curves
         // (L1/L2 misses, bridge RX depth, idle time) over simulated time.
         if self.tracer.is_enabled() {

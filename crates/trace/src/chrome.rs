@@ -69,6 +69,55 @@ impl TraceLog {
         self.events.iter().filter(|e| e.name == name).count()
     }
 
+    /// Validates `Begin`/`End` span pairing per track, in the log's
+    /// current order (call after [`sort_by_time`](TraceLog::sort_by_time)
+    /// for merged logs).
+    ///
+    /// Chrome trace-event semantics: an `E` closes the most recently
+    /// opened `B` on its track, so the check runs one stack per track —
+    /// an `End` whose name differs from the innermost open `Begin`, an
+    /// `End` with no open span, or a `Begin` still open when the log ends
+    /// are all reported. Returns one description per defect; an empty
+    /// vector means every span is balanced.
+    pub fn unpaired_spans(&self) -> Vec<String> {
+        let mut defects = Vec::new();
+        let mut open: Vec<Vec<(&'static str, f64)>> =
+            Track::ALL.iter().map(|_| Vec::new()).collect();
+        let slot = |t: Track| Track::ALL.iter().position(|x| *x == t).unwrap_or(0);
+        for event in &self.events {
+            match event.kind {
+                EventKind::Begin => open[slot(event.track)].push((event.name, event.ts_us)),
+                EventKind::End => match open[slot(event.track)].pop() {
+                    Some((name, _)) if name == event.name => {}
+                    Some((name, ts)) => defects.push(format!(
+                        "track {}: span_end({:?}) at {} us closes span_begin({:?}) opened at {} us",
+                        event.track.name(),
+                        event.name,
+                        event.ts_us,
+                        name,
+                        ts,
+                    )),
+                    None => defects.push(format!(
+                        "track {}: span_end({:?}) at {} us without a span_begin",
+                        event.track.name(),
+                        event.name,
+                        event.ts_us,
+                    )),
+                },
+                _ => {}
+            }
+        }
+        for (track, stack) in Track::ALL.iter().zip(&open) {
+            for (name, ts) in stack {
+                defects.push(format!(
+                    "track {}: span_begin({name:?}) at {ts} us never closed",
+                    track.name(),
+                ));
+            }
+        }
+        defects
+    }
+
     /// Serializes the log as Chrome trace-event JSON.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(128 + self.events.len() * 96);
@@ -98,6 +147,8 @@ impl TraceLog {
                     out.push_str(",\"ph\":\"X\",\"dur\":");
                     write_f64(&mut out, dur_us);
                 }
+                EventKind::Begin => out.push_str(",\"ph\":\"B\""),
+                EventKind::End => out.push_str(",\"ph\":\"E\""),
                 EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
                 EventKind::Counter { value } => {
                     out.push_str(",\"ph\":\"C\"");
@@ -232,6 +283,89 @@ mod tests {
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
         assert_eq!(log.count_named("bridge-packet"), 1);
         assert_eq!(log.track_names(), vec!["env", "bridge", "soc.gemmini", "soc.mem"]);
+    }
+
+    /// Replays the trace shape of a mission — per-grant `soc-grant`
+    /// begin/end pairs interleaved with kernel spans and counters across
+    /// several quanta — and asserts every `span_begin` is closed by a
+    /// matching `span_end` on its track, surviving the merge + sort.
+    #[test]
+    fn replayed_mission_spans_pair_per_track() {
+        let clock = TraceClock::default();
+        let mut soc = Tracer::enabled(clock);
+        let mut env = Tracer::enabled(clock);
+        let cycles_per_grant = 16_666_666u64;
+        for grant in 0..5u64 {
+            let start = grant * cycles_per_grant;
+            let end = start + cycles_per_grant;
+            soc.span_begin_cycles(
+                Track::SocCpu,
+                "soc-grant",
+                start,
+                vec![("budget", ArgValue::U64(cycles_per_grant))],
+            );
+            soc.complete_cycles(Track::SocCpu, "kernel:matmul", start, start + 1000, Vec::new());
+            soc.counter_cycles(Track::SocMem, "l2-misses", end, grant as f64);
+            soc.span_end_cycles(Track::SocCpu, "soc-grant", end);
+            env.complete_frames(Track::Env, "env-frame", grant, grant + 1, Vec::new());
+        }
+        let mut log = TraceLog::new();
+        log.extend(env.take_events());
+        log.extend(soc.take_events());
+        log.sort_by_time();
+        assert_eq!(log.unpaired_spans(), Vec::<String>::new());
+        assert_eq!(log.count_named("soc-grant"), 10); // 5 begins + 5 ends
+
+        // The export round-trips as JSON with B/E phases present.
+        let parsed = json::parse(&log.to_chrome_json()).expect("valid JSON");
+        let phases: Vec<&str> = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents")
+            .iter()
+            .filter_map(|e| e.get("ph")?.as_str())
+            .collect();
+        assert_eq!(phases.iter().filter(|p| **p == "B").count(), 5);
+        assert_eq!(phases.iter().filter(|p| **p == "E").count(), 5);
+    }
+
+    #[test]
+    fn unpaired_spans_are_reported() {
+        // A begin that never closes.
+        let mut t = Tracer::enabled(TraceClock::default());
+        t.span_begin_cycles(Track::Sync, "sync-quantum", 0, Vec::new());
+        let mut log = TraceLog::new();
+        log.extend(t.take_events());
+        let defects = log.unpaired_spans();
+        assert_eq!(defects.len(), 1);
+        assert!(defects[0].contains("never closed"), "{defects:?}");
+
+        // An end with no begin.
+        let mut t = Tracer::enabled(TraceClock::default());
+        t.span_end_cycles(Track::Sync, "sync-quantum", 10);
+        let mut log = TraceLog::new();
+        log.extend(t.take_events());
+        let defects = log.unpaired_spans();
+        assert_eq!(defects.len(), 1);
+        assert!(defects[0].contains("without a span_begin"), "{defects:?}");
+
+        // A mismatched close (wrong innermost name).
+        let mut t = Tracer::enabled(TraceClock::default());
+        t.span_begin_cycles(Track::SocCpu, "outer", 0, Vec::new());
+        t.span_begin_cycles(Track::SocCpu, "inner", 5, Vec::new());
+        t.span_end_cycles(Track::SocCpu, "outer", 10);
+        t.span_end_cycles(Track::SocCpu, "inner", 20);
+        let mut log = TraceLog::new();
+        log.extend(t.take_events());
+        assert_eq!(log.unpaired_spans().len(), 2, "both crossed edges flagged");
+
+        // Same names on *different* tracks do not pair with each other.
+        let mut t = Tracer::enabled(TraceClock::default());
+        t.span_begin_cycles(Track::SocCpu, "grant", 0, Vec::new());
+        t.span_end_cycles(Track::Sync, "grant", 10);
+        let mut log = TraceLog::new();
+        log.extend(t.take_events());
+        assert_eq!(log.unpaired_spans().len(), 2);
     }
 
     #[test]

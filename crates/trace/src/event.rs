@@ -77,6 +77,13 @@ pub enum EventKind {
         /// Span length in simulated microseconds.
         dur_us: f64,
     },
+    /// The opening edge of a paired span (`ph: "B"`). Every `Begin` must
+    /// be closed by an [`EventKind::End`] of the same name on the same
+    /// track — the invariant `TraceLog::unpaired_spans` checks and the
+    /// TRACE001 lint enforces at call sites.
+    Begin,
+    /// The closing edge of a paired span (`ph: "E"`).
+    End,
     /// A point-in-time marker (`ph: "i"`).
     Instant,
     /// A sampled counter value (`ph: "C"`).

@@ -120,6 +120,62 @@ impl Tracer {
         }
     }
 
+    /// Opens a paired span at SoC cycle `cycle`. Must be closed by a
+    /// [`span_end_cycles`](Tracer::span_end_cycles) (or the frame-domain
+    /// twin) with the same name on the same track; the TRACE001 lint
+    /// checks call sites stay balanced and
+    /// [`TraceLog::unpaired_spans`](crate::chrome::TraceLog::unpaired_spans)
+    /// validates recorded logs.
+    #[inline]
+    pub fn span_begin_cycles(
+        &mut self,
+        track: Track,
+        name: &'static str,
+        cycle: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if let Some(buf) = &self.inner {
+            let ts = buf.clock.cycles_to_us(cycle);
+            self.push(track, name, ts, EventKind::Begin, args);
+        }
+    }
+
+    /// Closes the paired span most recently opened under `name` on `track`,
+    /// at SoC cycle `cycle`.
+    #[inline]
+    pub fn span_end_cycles(&mut self, track: Track, name: &'static str, cycle: u64) {
+        if let Some(buf) = &self.inner {
+            let ts = buf.clock.cycles_to_us(cycle);
+            self.push(track, name, ts, EventKind::End, Vec::new());
+        }
+    }
+
+    /// Opens a paired span at environment frame `frame`; see
+    /// [`span_begin_cycles`](Tracer::span_begin_cycles).
+    #[inline]
+    pub fn span_begin_frames(
+        &mut self,
+        track: Track,
+        name: &'static str,
+        frame: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if let Some(buf) = &self.inner {
+            let ts = buf.clock.frames_to_us(frame);
+            self.push(track, name, ts, EventKind::Begin, args);
+        }
+    }
+
+    /// Closes a paired span at environment frame `frame`; see
+    /// [`span_end_cycles`](Tracer::span_end_cycles).
+    #[inline]
+    pub fn span_end_frames(&mut self, track: Track, name: &'static str, frame: u64) {
+        if let Some(buf) = &self.inner {
+            let ts = buf.clock.frames_to_us(frame);
+            self.push(track, name, ts, EventKind::End, Vec::new());
+        }
+    }
+
     /// Records an instant at SoC cycle `cycle`.
     #[inline]
     pub fn instant_cycles(
