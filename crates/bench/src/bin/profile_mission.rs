@@ -5,6 +5,8 @@
 //! ```text
 //! profile_mission [--trace out.json] [--metrics out.csv] [--seconds F]
 //!                 [--check] [--determinism]
+//!                 [--snapshot-at F] [--snapshot-out PATH]
+//!                 [--resume-from PATH]
 //! ```
 //!
 //! `ROSE_TRACE` / `ROSE_METRICS` environment variables are fallbacks for
@@ -14,9 +16,20 @@
 //! `--determinism` additionally runs the same config a second time and
 //! compares FNV digests of the trajectory, SoC counters, and trace
 //! ordering (see `rose::audit`), exiting nonzero on any divergence.
+//!
+//! `--snapshot-at F` pauses the mission at the first quantum boundary at
+//! or after `F` simulated seconds, writes a [`rose::MissionSnapshot`]
+//! checkpoint to `--snapshot-out` (default `mission.rosesnap`), verifies
+//! in-process that resuming the checkpoint reproduces the straight run's
+//! digest bit-exactly, and then continues to completion.
+//! `--resume-from PATH` warm-starts from such a checkpoint instead of
+//! booting a fresh mission; the checkpoint's embedded config (including
+//! its simulated-time wall) replaces the defaults, so `--seconds` is
+//! ignored on this path.
 
 use rose::audit::{audit_determinism, MissionDigest};
 use rose::mission::{run_mission, MissionConfig, MissionReport};
+use rose::snapshot::{Mission, MissionSnapshot};
 use rose_trace::{json, Track};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,12 +40,16 @@ struct Args {
     seconds: f64,
     check: bool,
     determinism: bool,
+    snapshot_at: Option<f64>,
+    snapshot_out: PathBuf,
+    resume_from: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: profile_mission [--trace out.json] [--metrics out.csv] \
-         [--seconds F] [--check] [--determinism]"
+         [--seconds F] [--check] [--determinism] \
+         [--snapshot-at F] [--snapshot-out PATH] [--resume-from PATH]"
     );
     std::process::exit(2)
 }
@@ -44,6 +61,9 @@ fn parse_args() -> Args {
         seconds: 2.0,
         check: false,
         determinism: false,
+        snapshot_at: None,
+        snapshot_out: PathBuf::from("mission.rosesnap"),
+        resume_from: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -58,8 +78,25 @@ fn parse_args() -> Args {
             }
             "--check" => args.check = true,
             "--determinism" => args.determinism = true,
+            "--snapshot-at" => {
+                args.snapshot_at = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--snapshot-out" => {
+                args.snapshot_out = it.next().unwrap_or_else(|| usage()).into()
+            }
+            "--resume-from" => {
+                args.resume_from = Some(it.next().unwrap_or_else(|| usage()).into())
+            }
             _ => usage(),
         }
+    }
+    if args.snapshot_at.is_some() && args.resume_from.is_some() {
+        eprintln!("error: --snapshot-at and --resume-from are mutually exclusive");
+        usage()
     }
     args
 }
@@ -135,14 +172,80 @@ fn check(report: &MissionReport) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--snapshot-at` path: run to the boundary, checkpoint, verify the
+/// checkpoint resumes bit-identically, continue to completion.
+fn run_with_snapshot(config: &MissionConfig, at: f64, out: &PathBuf) -> Result<MissionReport, String> {
+    let boundary =
+        ((at * config.frame_hz as f64 / config.frames_per_sync as f64).ceil() as u64)
+            .min(config.max_syncs());
+    let mut mission = Mission::start(config);
+    mission.run_syncs(boundary);
+    let snap = mission.snapshot();
+    std::fs::write(out, snap.bytes())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote snapshot {} ({} bytes at sync {})",
+        out.display(),
+        snap.bytes().len(),
+        mission.syncs_executed(),
+    );
+    let report = mission.run_to_completion();
+
+    // The checkpoint is only useful if it continues bit-identically.
+    let resumed = snap
+        .resume()
+        .map_err(|e| format!("snapshot failed to resume: {e}"))?
+        .run_to_completion();
+    if MissionDigest::of(&resumed) != MissionDigest::of(&report) {
+        return Err("resumed run diverged from the straight run".into());
+    }
+    println!("snapshot verified: resume is bit-identical to the straight run");
+    Ok(report)
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
-    let config = MissionConfig {
+    let mut config = MissionConfig {
         max_sim_seconds: args.seconds,
         trace: true,
         ..MissionConfig::default()
     };
-    let report = run_mission(&config);
+    let report = if let Some(path) = &args.resume_from {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let snap = MissionSnapshot::from_bytes(bytes);
+        let mission = match snap.resume() {
+            Ok(mission) => mission,
+            Err(e) => {
+                eprintln!("error: resuming {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // Reporting and the determinism audit must describe the resumed
+        // mission, not the default config.
+        config = mission.config().clone();
+        println!(
+            "resumed from {} at sync {}",
+            path.display(),
+            mission.syncs_executed(),
+        );
+        mission.run_to_completion()
+    } else if let Some(at) = args.snapshot_at {
+        match run_with_snapshot(&config, at, &args.snapshot_out) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        run_mission(&config)
+    };
     let log = report.trace.as_ref().expect("trace was requested");
     println!(
         "mission: {:.1} sim-s, {} syncs, {} inferences, {} trace events",

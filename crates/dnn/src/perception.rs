@@ -13,6 +13,7 @@
 
 use crate::resnet::DnnModel;
 use rose_sim_core::rng::SimRng;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// The three view classes of each head (Figure 8), drone-centric:
@@ -112,6 +113,32 @@ impl PerceptionHead {
     /// The underlying model.
     pub fn model(&self) -> DnnModel {
         self.model
+    }
+
+    /// Serializes the head's dynamic state: the sampling stream position
+    /// plus the (publicly tunable) class-boundary thresholds.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let PerceptionHead {
+            model: _,
+            rng,
+            angular_threshold,
+            lateral_threshold,
+        } = self;
+        rng.save_state(w);
+        w.f64(*angular_threshold);
+        w.f64(*lateral_threshold);
+    }
+
+    /// Restores the head's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng.restore_state(r)?;
+        self.angular_threshold = r.f64()?;
+        self.lateral_threshold = r.f64()?;
+        Ok(())
     }
 
     /// Classifies a ground-truth pose error.

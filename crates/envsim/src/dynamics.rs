@@ -8,6 +8,7 @@
 //! frame-sized chunks by the environment simulator.
 
 use rose_sim_core::math::{Quat, Vec3};
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Gravitational acceleration (m/s²).
@@ -90,6 +91,34 @@ impl Default for RigidBodyState {
 }
 
 impl RigidBodyState {
+    /// Serializes the state bit-exactly.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let RigidBodyState {
+            position,
+            velocity,
+            attitude,
+            angular_velocity,
+        } = self;
+        position.save_state(w);
+        velocity.save_state(w);
+        attitude.save_state(w);
+        angular_velocity.save_state(w);
+    }
+
+    /// Deserializes a state written by [`RigidBodyState::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a truncated snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<RigidBodyState, SnapError> {
+        Ok(RigidBodyState {
+            position: Vec3::restore_state(r)?,
+            velocity: Vec3::restore_state(r)?,
+            attitude: Quat::restore_state(r)?,
+            angular_velocity: Vec3::restore_state(r)?,
+        })
+    }
+
     /// State at rest on the ground at `position` with the given heading.
     pub fn grounded_at(position: Vec3, yaw: f64) -> RigidBodyState {
         RigidBodyState {
@@ -141,6 +170,32 @@ impl QuadrotorBody {
             state,
             motor_thrust: [params.hover_thrust() / 4.0; 4],
         }
+    }
+
+    /// Serializes the body's dynamic state (params are structural).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let QuadrotorBody {
+            params: _,
+            state,
+            motor_thrust,
+        } = self;
+        state.save_state(w);
+        for thrust in motor_thrust {
+            w.f64(*thrust);
+        }
+    }
+
+    /// Restores the body's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.state = RigidBodyState::restore_state(r)?;
+        for thrust in &mut self.motor_thrust {
+            *thrust = r.f64()?;
+        }
+        Ok(())
     }
 
     /// Physical parameters.

@@ -10,6 +10,7 @@ use crate::dynamics::QuadrotorBody;
 use crate::world::{P2, World};
 use rose_sim_core::math::Vec3;
 use rose_sim_core::rng::SimRng;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// One IMU sample.
@@ -76,6 +77,33 @@ impl Imu {
         }
     }
 
+    /// Serializes the IMU's dynamic state: the per-run bias draw and the
+    /// noise stream position. The bias is serialized (not re-derived)
+    /// because it was drawn from the seed at construction and must stay
+    /// identical across a resume.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let Imu {
+            config: _,
+            accel_bias,
+            gyro_bias,
+            rng,
+        } = self;
+        accel_bias.save_state(w);
+        gyro_bias.save_state(w);
+        rng.save_state(w);
+    }
+
+    /// Restores the IMU's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.accel_bias = Vec3::restore_state(r)?;
+        self.gyro_bias = Vec3::restore_state(r)?;
+        self.rng.restore_state(r)
+    }
+
     /// Samples the IMU given the true body state.
     pub fn sample(&mut self, body: &QuadrotorBody, timestamp: f64) -> ImuSample {
         let noise = |std_dev: f64, r: &mut SimRng| {
@@ -137,6 +165,21 @@ impl DepthSensor {
             config,
             rng: rng.split("depth-noise"),
         }
+    }
+
+    /// Serializes the sensor's dynamic state (the noise stream position).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let DepthSensor { config: _, rng } = self;
+        rng.save_state(w);
+    }
+
+    /// Restores the sensor's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng.restore_state(r)
     }
 
     /// Measures the depth `D_obj` of the closest object in the current

@@ -12,8 +12,9 @@ use crate::dynamics::{MotorCommand, QuadrotorBody, QuadrotorParams, RigidBodySta
 use crate::sensors::{DepthConfig, DepthSensor, Imu, ImuConfig};
 use crate::world::{P2, World};
 use rose_sim_core::cycles::FrameSpec;
-use rose_sim_core::math::Vec3;
+use rose_sim_core::math::{Quat, Vec3};
 use rose_sim_core::rng::SimRng;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use rose_trace::{ArgValue, TraceEvent, Track, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +31,21 @@ pub trait Autopilot {
 
     /// Resets controller state (integrators, derivative history).
     fn reset(&mut self);
+
+    /// Serializes the controller's dynamic state (integrators, derivative
+    /// history) for a mission snapshot. Stateless controllers keep the
+    /// default no-op; stateful ones must override **both** snapshot hooks
+    /// symmetrically or resumed missions will diverge.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores the controller's dynamic state from a mission snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    fn restore_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// Configuration for a [`UavSim`].
@@ -81,6 +97,39 @@ pub struct TrajectoryPoint {
     pub yaw: f64,
     /// True if the UAV was in wall contact this frame.
     pub in_collision: bool,
+}
+
+impl TrajectoryPoint {
+    /// Serializes the point bit-exactly.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let TrajectoryPoint {
+            t,
+            position,
+            velocity,
+            yaw,
+            in_collision,
+        } = self;
+        w.f64(*t);
+        position.save_state(w);
+        velocity.save_state(w);
+        w.f64(*yaw);
+        w.bool(*in_collision);
+    }
+
+    /// Deserializes a point written by [`TrajectoryPoint::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<TrajectoryPoint, SnapError> {
+        Ok(TrajectoryPoint {
+            t: r.f64()?,
+            position: Vec3::restore_state(r)?,
+            velocity: Vec3::restore_state(r)?,
+            yaw: r.f64()?,
+            in_collision: r.bool()?,
+        })
+    }
 }
 
 /// The frame-stepped UAV environment simulation.
@@ -245,6 +294,96 @@ impl UavSim {
                 SimResponse::Ack
             }
         }
+    }
+
+    /// Section magic guarding the environment state in snapshots ("ENVS").
+    pub const SNAP_SECTION: u32 = 0x454e_5653;
+
+    /// Serializes the simulation's complete dynamic state.
+    ///
+    /// Structural fields (`config`, `world`) are rebuilt from
+    /// `MissionConfig` on resume; everything that changes while frames
+    /// step is written here, including the full trajectory log (the
+    /// determinism digest covers every frame since launch, so a resumed
+    /// mission must carry its prefix).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let UavSim {
+            config: _,
+            world: _,
+            body,
+            autopilot,
+            imu,
+            depth,
+            target,
+            frame,
+            collision_count,
+            in_collision,
+            trajectory,
+            tracer,
+        } = self;
+        w.section(Self::SNAP_SECTION);
+        body.save_state(w);
+        autopilot.save_state(w);
+        imu.save_state(w);
+        depth.save_state(w);
+        let VelocityTarget {
+            forward,
+            lateral,
+            yaw_rate,
+            altitude,
+        } = target;
+        w.f64(*forward);
+        w.f64(*lateral);
+        w.f64(*yaw_rate);
+        w.f64(*altitude);
+        w.u64(*frame);
+        w.u32(*collision_count);
+        w.bool(*in_collision);
+        w.usize(trajectory.len());
+        for point in trajectory {
+            point.save_state(w);
+        }
+        tracer.save_state(w);
+    }
+
+    /// Restores the simulation's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section(Self::SNAP_SECTION)?;
+        self.body.restore_state(r)?;
+        self.autopilot.restore_state(r)?;
+        self.imu.restore_state(r)?;
+        self.depth.restore_state(r)?;
+        self.target = VelocityTarget {
+            forward: r.f64()?,
+            lateral: r.f64()?,
+            yaw_rate: r.f64()?,
+            altitude: r.f64()?,
+        };
+        self.frame = r.u64()?;
+        self.collision_count = r.u32()?;
+        self.in_collision = r.bool()?;
+        let count = r.usize()?;
+        self.trajectory.clear();
+        self.trajectory.reserve(count.min(1 << 20));
+        for _ in 0..count {
+            self.trajectory.push(TrajectoryPoint::restore_state(r)?);
+        }
+        self.tracer.restore_state(r)
+    }
+
+    /// Rotates the UAV's heading by `dyaw` radians in place.
+    ///
+    /// This is the divergence knob for forked missions: branches resumed
+    /// from one shared checkpoint inject different heading disturbances
+    /// and then fly on, which is how the warm-started Figure 10 sweep
+    /// reproduces its initial-angle axis without re-simulating boot.
+    pub fn perturb_yaw(&mut self, dyaw: f64) {
+        let state = self.body.state_mut();
+        state.attitude = (Quat::from_euler(0.0, 0.0, dyaw) * state.attitude).normalized();
     }
 
     /// Advances the simulation by `n` frames.

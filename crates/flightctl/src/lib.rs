@@ -28,6 +28,7 @@ pub mod mixer;
 use rose_envsim::api::VelocityTarget;
 use rose_envsim::dynamics::{MotorCommand, QuadrotorParams, RigidBodyState, GRAVITY};
 use rose_envsim::Autopilot;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use rose_sim_core::math::{clamp, Vec3};
 use rose_sim_core::pid::{Pid, PidConfig};
 use serde::{Deserialize, Serialize};
@@ -189,6 +190,37 @@ impl Autopilot for SimpleFlight {
         self.pid_rate_x.reset();
         self.pid_rate_y.reset();
         self.pid_rate_z.reset();
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // Gains, airframe, and mixer are structural; the cascade's dynamic
+        // state is the six controllers' integrators and derivative history.
+        let SimpleFlight {
+            config: _,
+            quad: _,
+            mixer: _,
+            pid_vx,
+            pid_vy,
+            pid_vz,
+            pid_rate_x,
+            pid_rate_y,
+            pid_rate_z,
+        } = self;
+        pid_vx.save_state(w);
+        pid_vy.save_state(w);
+        pid_vz.save_state(w);
+        pid_rate_x.save_state(w);
+        pid_rate_y.save_state(w);
+        pid_rate_z.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.pid_vx.restore_state(r)?;
+        self.pid_vy.restore_state(r)?;
+        self.pid_vz.restore_state(r)?;
+        self.pid_rate_x.restore_state(r)?;
+        self.pid_rate_y.restore_state(r)?;
+        self.pid_rate_z.restore_state(r)
     }
 }
 

@@ -35,9 +35,25 @@ fn seeded_reasonless_allow(x: Option<u8>) -> u8 {
     x.unwrap()
 }
 
+// SNAP001: seeded violation — a rest pattern lets a future field slip
+// past the snapshot without breaking the build.
+fn save_state(&self, w: &mut SnapWriter) {
+    let Self { ticks, .. } = self;
+    w.u64(*ticks);
+}
+
 // ---------------------------------------------------------------------
 // Negative half: everything below here must lint clean.
 // ---------------------------------------------------------------------
+
+fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+    // Ranges share the `..` spelling but follow an expression, not a
+    // `{`/`,` — the codec's queue loops must stay clean.
+    for _ in 0..r.usize()? {
+        self.q.push_back(r.bytes()?);
+    }
+    Ok(())
+}
 
 use std::collections::BTreeMap; // ordered: fine
 

@@ -4,7 +4,7 @@
 //! configs (see `rose::audit`). That promise is easy to break one line at
 //! a time — a `HashMap` drain here, an `Instant::now()` there — so this
 //! crate scans the workspace source with a hand-rolled Rust lexer
-//! ([`lexer`]) and flags the five contract violations a token stream can
+//! ([`lexer`]) and flags the six contract violations a token stream can
 //! reveal ([`rules`]):
 //!
 //! | rule     | violation                                             |
@@ -14,6 +14,7 @@
 //! | PANIC001 | `unwrap`/`expect`/`panic!` on transport/bridge paths  |
 //! | TRACE001 | unpaired `span_begin*`/`span_end*` calls              |
 //! | CAST001  | truncating `as` casts in cycle arithmetic             |
+//! | SNAP001  | `..` rest patterns in `save_state`/`restore_state`    |
 //!
 //! Suppression is always explicit: file-level via `rose-lint.toml`
 //! ([`config`]), or line-level via `// rose-lint: allow(RULE, reason)` —

@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         println!("PANIC001 unwrap/expect/panic! on transport/bridge/synchronizer paths");
         println!("TRACE001 unpaired span_begin*/span_end* calls within a function");
         println!("CAST001  truncating `as` casts in cycle arithmetic (widen via u128)");
+        println!("SNAP001  `..` rest patterns in save_state/restore_state (snapshot hidden state)");
         println!("ANN001   malformed or reasonless rose-lint allow annotation");
         return ExitCode::SUCCESS;
     }

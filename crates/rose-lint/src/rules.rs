@@ -49,7 +49,9 @@ const TRUNCATING_TARGETS: &[&str] = &[
 ];
 
 /// All rule identifiers, in report order.
-pub const ALL_RULES: &[&str] = &["DET001", "DET002", "PANIC001", "TRACE001", "CAST001", "ANN001"];
+pub const ALL_RULES: &[&str] = &[
+    "DET001", "DET002", "PANIC001", "TRACE001", "CAST001", "SNAP001", "ANN001",
+];
 
 fn path_in(rel_path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| {
@@ -71,6 +73,7 @@ pub fn applies_to(rule: &str, rel_path: &str, all_rules: bool) -> bool {
         "DET002" => path_in(rel_path, SIM_CRATES),
         "PANIC001" => path_in(rel_path, FAULT_PATH_PREFIXES),
         "CAST001" => CYCLE_ARITH_FILES.contains(&rel_path),
+        "SNAP001" => path_in(rel_path, SIM_CRATES) || path_in(rel_path, &["crates/trace/src"]),
         _ => false,
     }
 }
@@ -175,6 +178,9 @@ pub fn run_rules(rel_path: &str, lexed: &Lexed, all_rules: bool) -> Vec<Finding>
     }
     if applies_to("CAST001", rel_path, all_rules) {
         findings.extend(cast001(tokens, &live));
+    }
+    if applies_to("SNAP001", rel_path, all_rules) {
+        findings.extend(snap001(tokens, &live));
     }
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
@@ -395,6 +401,92 @@ fn cast001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
     out
 }
 
+/// SNAP001 — no `..` rest patterns inside `save_state`/`restore_state`
+/// bodies. The snapshot codec's "no hidden state" contract (DESIGN.md
+/// §4e) requires every such function to destructure its struct
+/// exhaustively, so that adding a field breaks the build until the author
+/// decides whether it is dynamic state (serialize it) or structural
+/// configuration (bind it to `_`). A `..` rest pattern — in a
+/// destructuring `let Self { a, .. } = self;` or a functional update
+/// `Config { a, ..Default::default() }` — silently swallows new fields,
+/// which is exactly the bug class snapshots exist to prevent.
+///
+/// The lexer emits `..` as two adjacent `.` puncts; a pair preceded by
+/// `{` or `,` is a rest pattern / functional update, while ranges
+/// (`0..n`) follow a literal or identifier and are fine.
+fn snap001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if ident(&tokens[i]) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let fn_name = tokens.get(i + 1).and_then(ident).unwrap_or("?").to_string();
+        if fn_name != "save_state" && fn_name != "restore_state" {
+            i += 1;
+            continue;
+        }
+        // Find the body `{` (or a bodiless `;`), tracking bracket depth.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let body_start = loop {
+            match tokens.get(j).map(|t| &t.tok) {
+                None => break None,
+                Some(Tok::Punct("(")) | Some(Tok::Punct("[")) => depth += 1,
+                Some(Tok::Punct(")")) | Some(Tok::Punct("]")) => depth -= 1,
+                Some(Tok::Punct(";")) if depth == 0 => break None,
+                Some(Tok::Punct("{")) if depth == 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(body_start) = body_start else {
+            i = j + 1;
+            continue;
+        };
+        // Walk the brace-balanced body flagging rest-pattern `..` pairs.
+        let mut brace = 0i32;
+        let mut k = body_start;
+        while k < tokens.len() {
+            match &tokens[k].tok {
+                Tok::Punct("{") => brace += 1,
+                Tok::Punct("}") => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(".")
+                    if live(k)
+                        && tokens.get(k + 1).map(|t| &t.tok) == Some(&Tok::Punct("."))
+                        && matches!(
+                            tokens.get(k - 1).map(|t| &t.tok),
+                            Some(Tok::Punct("{")) | Some(Tok::Punct(","))
+                        ) =>
+                {
+                    out.push(Finding {
+                        rule: "SNAP001",
+                        line: tokens[k].line,
+                        message: format!(
+                            "`..` rest pattern in fn {fn_name}: snapshot code must \
+                             destructure exhaustively so new fields break the build \
+                             (bind structural fields to `_`), or annotate with \
+                             // rose-lint: allow(SNAP001, reason)"
+                        ),
+                    });
+                    k += 2;
+                    continue;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,6 +610,33 @@ mod tests {
         assert!(findings("CAST001", "use foo::Bar as Baz;").is_empty());
     }
 
+    // SNAP001 --------------------------------------------------------------
+
+    #[test]
+    fn snap001_flags_rest_patterns_in_snapshot_fns() {
+        let rest = "pub fn save_state(&self, w: &mut SnapWriter) {\n let Self { a, .. } = self;\n w.u64(*a);\n}";
+        let found = findings("SNAP001", rest);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("save_state"));
+
+        let update = "fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {\n self.stats = Stats { syncs: r.u64()?, ..Stats::default() };\n Ok(())\n}";
+        assert_eq!(findings("SNAP001", update).len(), 1);
+    }
+
+    #[test]
+    fn snap001_accepts_ranges_and_exhaustive_destructuring() {
+        // Range loops are the codec's bread and butter, not rest patterns.
+        let ranges = "fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {\n for _ in 0..r.usize()? {\n  self.q.push(r.bytes()?);\n }\n Ok(())\n}";
+        assert!(findings("SNAP001", ranges).is_empty());
+
+        let exhaustive = "fn save_state(&self, w: &mut SnapWriter) {\n let Self { a, b, config: _ } = self;\n w.u64(*a);\n w.bool(*b);\n}";
+        assert!(findings("SNAP001", exhaustive).is_empty());
+
+        // `..` anywhere outside save_state/restore_state is out of scope.
+        let elsewhere = "fn rebuild(&self) -> Config {\n Config { name: x, ..Config::default() }\n}";
+        assert!(findings("SNAP001", elsewhere).is_empty());
+    }
+
     // Scope ----------------------------------------------------------------
 
     #[test]
@@ -531,6 +650,9 @@ mod tests {
         assert!(applies_to("CAST001", "crates/sim-core/src/cycles.rs", false));
         assert!(!applies_to("CAST001", "crates/sim-core/src/rng.rs", false));
         assert!(applies_to("CAST001", "crates/sim-core/src/rng.rs", true));
+        assert!(applies_to("SNAP001", "crates/socsim/src/soc.rs", false));
+        assert!(applies_to("SNAP001", "crates/trace/src/tracer.rs", false));
+        assert!(!applies_to("SNAP001", "crates/bench/src/lib.rs", false));
     }
 
     #[test]

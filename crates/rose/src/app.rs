@@ -20,6 +20,7 @@ use rose_dnn::lower::{lower_inference, LoweringConfig};
 use rose_dnn::perception::PerceptionHead;
 use rose_dnn::DnnModel;
 use rose_sim_core::rng::SimRng;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use rose_socsim::program::{ProgContext, TargetProgram};
 use rose_socsim::TargetOp;
 use serde::{Deserialize, Serialize};
@@ -41,6 +42,30 @@ impl Default for ControlGains {
             beta_lateral: 3.0,
             beta_yaw: 2.5,
         }
+    }
+}
+
+impl ControlGains {
+    /// Serializes the gains.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let ControlGains {
+            beta_lateral,
+            beta_yaw,
+        } = self;
+        w.f64(*beta_lateral);
+        w.f64(*beta_yaw);
+    }
+
+    /// Restores gains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<ControlGains, SnapError> {
+        Ok(ControlGains {
+            beta_lateral: r.f64()?,
+            beta_yaw: r.f64()?,
+        })
     }
 }
 
@@ -67,6 +92,46 @@ impl ControllerChoice {
             fast: DnnModel::ResNet6,
             accurate: DnnModel::ResNet14,
             threshold_s: 0.35,
+        }
+    }
+
+    /// Serializes the controller choice with a stable one-byte tag.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            ControllerChoice::Static(model) => {
+                w.u8(0);
+                model.save_state(w);
+            }
+            ControllerChoice::Dynamic {
+                fast,
+                accurate,
+                threshold_s,
+            } => {
+                w.u8(1);
+                fast.save_state(w);
+                accurate.save_state(w);
+                w.f64(*threshold_s);
+            }
+        }
+    }
+
+    /// Restores a controller choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::BadTag`] on an unknown tag.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<ControllerChoice, SnapError> {
+        match r.u8()? {
+            0 => Ok(ControllerChoice::Static(DnnModel::restore_state(r)?)),
+            1 => Ok(ControllerChoice::Dynamic {
+                fast: DnnModel::restore_state(r)?,
+                accurate: DnnModel::restore_state(r)?,
+                threshold_s: r.f64()?,
+            }),
+            tag => Err(SnapError::BadTag {
+                context: "ControllerChoice",
+                tag,
+            }),
         }
     }
 }
@@ -112,6 +177,39 @@ impl rose_trace::MetricSource for AppMetrics {
     }
 }
 
+impl AppMetrics {
+    fn save_state(&self, w: &mut SnapWriter) {
+        let AppMetrics {
+            inferences,
+            latencies_cycles,
+            commands,
+            fast_inferences,
+            deadline_switches,
+        } = self;
+        w.u64(*inferences);
+        w.usize(latencies_cycles.len());
+        for &lat in latencies_cycles {
+            w.u64(lat);
+        }
+        w.u64(*commands);
+        w.u64(*fast_inferences);
+        w.u64(*deadline_switches);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.inferences = r.u64()?;
+        let n = r.usize()?;
+        self.latencies_cycles.clear();
+        for _ in 0..n {
+            self.latencies_cycles.push(r.u64()?);
+        }
+        self.commands = r.u64()?;
+        self.fast_inferences = r.u64()?;
+        self.deadline_switches = r.u64()?;
+        Ok(())
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum State {
     /// Request the depth sensor (dynamic runtime only).
@@ -122,6 +220,34 @@ enum State {
     /// Drain the lowered inference ops.
     Inference,
     SendCommand,
+}
+
+impl State {
+    fn save_state(self, w: &mut SnapWriter) {
+        w.u8(match self {
+            State::RequestDepth => 0,
+            State::AwaitDepth => 1,
+            State::RequestImage => 2,
+            State::AwaitImage => 3,
+            State::Inference => 4,
+            State::SendCommand => 5,
+        });
+    }
+
+    fn restore_state(r: &mut SnapReader<'_>) -> Result<State, SnapError> {
+        match r.u8()? {
+            0 => Ok(State::RequestDepth),
+            1 => Ok(State::AwaitDepth),
+            2 => Ok(State::RequestImage),
+            3 => Ok(State::AwaitImage),
+            4 => Ok(State::Inference),
+            5 => Ok(State::SendCommand),
+            tag => Err(SnapError::BadTag {
+                context: "TrailNavApp::State",
+                tag,
+            }),
+        }
+    }
 }
 
 /// The trail-navigation application (a [`TargetProgram`]).
@@ -343,6 +469,79 @@ impl TargetProgram for TrailNavApp {
             ControllerChoice::Static(_) => "trail-nav-static",
             ControllerChoice::Dynamic { .. } => "trail-nav-dynamic",
         }
+    }
+
+    /// Serializes the application's dynamic state. Configuration (choice,
+    /// gains, velocity, altitude, deadline parameters) and the lowered
+    /// inference plans are structural — rebuilt from [`MissionConfig`]
+    /// (`crate::mission::MissionConfig`) on resume. The current model is
+    /// stored as an index into the plan table, so no model codec is needed.
+    fn save_state(&self, w: &mut SnapWriter) {
+        let TrailNavApp {
+            choice: _,
+            gains: _,
+            velocity: _,
+            altitude: _,
+            deadline: _,
+            plans,
+            heads,
+            state,
+            queue,
+            current_model,
+            use_argmax,
+            last_trail,
+            request_cycle,
+            metrics,
+        } = self;
+        for (_, head) in heads {
+            head.save_state(w);
+        }
+        state.save_state(w);
+        w.usize(queue.len());
+        for op in queue {
+            op.save_state(w);
+        }
+        let model_idx = plans
+            .iter()
+            .position(|(m, _)| m == current_model)
+            .expect("current model always has a plan");
+        w.u8(model_idx as u8);
+        w.bool(*use_argmax);
+        last_trail.save_state(w);
+        w.u64(*request_cycle);
+        metrics.lock().save_state(w);
+    }
+
+    /// Restores the application's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot, including a model
+    /// index outside this app's plan table.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for (_, head) in &mut self.heads {
+            head.restore_state(r)?;
+        }
+        self.state = State::restore_state(r)?;
+        let n_ops = r.usize()?;
+        self.queue.clear();
+        for _ in 0..n_ops {
+            self.queue.push_back(TargetOp::restore_state(r)?);
+        }
+        let model_idx = r.u8()? as usize;
+        self.current_model = match self.plans.get(model_idx) {
+            Some((m, _)) => *m,
+            None => {
+                return Err(SnapError::BadTag {
+                    context: "TrailNavApp model index",
+                    tag: model_idx as u8,
+                });
+            }
+        };
+        self.use_argmax = r.bool()?;
+        self.last_trail = TrailInfo::restore_state(r)?;
+        self.request_cycle = r.u64()?;
+        self.metrics.lock().restore_state(r)
     }
 }
 

@@ -36,12 +36,18 @@ impl Default for DeadlineModel {
 impl DeadlineModel {
     /// Equation 3: time until collision at the current speed.
     ///
-    /// Returns `f64::INFINITY` when not moving toward the obstacle.
+    /// Returns `f64::INFINITY` when not moving toward the obstacle. Depth
+    /// is clamped at zero: the model is fed *decoded* depth readings, and a
+    /// negative value (sensor noise near a surface, or a corrupted
+    /// message) means the obstacle plane is already reached — a negative
+    /// collision time would flip [`meets_deadline`](Self::meets_deadline)
+    /// into approving arbitrarily slow pipelines at the exact moment the
+    /// situation is most urgent.
     pub fn t_collision(&self, depth_m: f64, velocity: f64) -> f64 {
         if velocity <= 0.0 {
             f64::INFINITY
         } else {
-            depth_m / velocity
+            depth_m.max(0.0) / velocity
         }
     }
 
@@ -88,6 +94,39 @@ mod tests {
         assert!(!m.meets_deadline(0.9, 9.0, 0.085));
         // Far from obstacles the same inference is safe.
         assert!(m.meets_deadline(30.0, 9.0, 0.085));
+    }
+
+    /// The satellite bugfix: a negative decoded depth must read as "impact
+    /// now", never as a *negative* collision time — `t_process` would go
+    /// below every threshold's negation and `meets_deadline` would approve
+    /// any pipeline while the UAV is inside the obstacle.
+    #[test]
+    fn negative_depth_clamps_to_immediate_collision() {
+        let m = DeadlineModel::default();
+        assert_eq!(m.t_collision(-3.0, 2.0), 0.0);
+        // t_process is the (negative) -t_sensor - t_actuation bound...
+        assert!((m.t_process(-3.0, 2.0) + m.t_sensor + m.t_actuation).abs() < 1e-12);
+        // ...so no nonnegative compute budget can meet the deadline.
+        assert!(!m.meets_deadline(-3.0, 2.0, 0.0));
+        assert!(!m.meets_deadline(-3.0, 2.0, 0.085));
+    }
+
+    #[test]
+    fn zero_depth_is_an_expired_deadline() {
+        let m = DeadlineModel::default();
+        assert_eq!(m.t_collision(0.0, 5.0), 0.0);
+        assert!(!m.meets_deadline(0.0, 5.0, 0.0));
+    }
+
+    /// Moving away from (or parallel to) the obstacle never deadlines,
+    /// regardless of the depth sign.
+    #[test]
+    fn nonpositive_velocity_never_deadlines() {
+        let m = DeadlineModel::default();
+        assert_eq!(m.t_collision(10.0, 0.0), f64::INFINITY);
+        assert_eq!(m.t_collision(10.0, -4.0), f64::INFINITY);
+        assert_eq!(m.t_collision(-10.0, -4.0), f64::INFINITY);
+        assert!(m.meets_deadline(10.0, -4.0, 1e9));
     }
 
     #[test]

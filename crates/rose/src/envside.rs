@@ -57,6 +57,29 @@ impl CoSimEnv {
         self.decode_errors
     }
 
+    /// Serializes the endpoint: the wrapped UAV simulation plus the
+    /// decode-error counter.
+    pub fn save_state(&self, w: &mut rose_sim_core::snap::SnapWriter) {
+        let CoSimEnv { sim, decode_errors } = self;
+        sim.save_state(w);
+        w.u64(*decode_errors);
+    }
+
+    /// Restores the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rose_sim_core::snap::SnapError`] on a malformed
+    /// snapshot.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rose_sim_core::snap::SnapReader<'_>,
+    ) -> Result<(), rose_sim_core::snap::SnapError> {
+        self.sim.restore_state(r)?;
+        self.decode_errors = r.u64()?;
+        Ok(())
+    }
+
     fn trail_info(&self) -> TrailInfo {
         let pose = self.sim.pose();
         let q = self.sim.world().trail_query(pose.position, pose.yaw);

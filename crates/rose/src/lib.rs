@@ -49,6 +49,10 @@
 //! * [`audit`] — the cross-run determinism auditor: runs a config twice
 //!   and compares FNV digests of trajectory, SoC counters, and trace
 //!   ordering.
+//! * [`snapshot`] — mission snapshot / fork / resume: serialize the full
+//!   co-simulation state at a quantum boundary, warm-start sweeps from a
+//!   shared checkpoint, and clone a running mission into divergent
+//!   branches.
 
 #![deny(missing_docs)]
 
@@ -61,6 +65,8 @@ pub mod message;
 pub mod mission;
 pub mod mpc;
 pub mod rtlside;
+pub mod snapshot;
 
 pub use app::{AppMetrics, ControllerChoice};
 pub use mission::{run_mission, MissionConfig, MissionReport};
+pub use snapshot::{Mission, MissionSnapshot};

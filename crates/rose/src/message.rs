@@ -35,6 +35,39 @@ pub struct TrailInfo {
     pub progress: f64,
 }
 
+impl TrailInfo {
+    /// Serializes the trail estimate.
+    pub fn save_state(&self, w: &mut rose_sim_core::snap::SnapWriter) {
+        let TrailInfo {
+            lateral_offset,
+            heading_error,
+            half_width,
+            progress,
+        } = self;
+        w.f64(*lateral_offset);
+        w.f64(*heading_error);
+        w.f64(*half_width);
+        w.f64(*progress);
+    }
+
+    /// Restores a trail estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rose_sim_core::snap::SnapError`] on a malformed
+    /// snapshot.
+    pub fn restore_state(
+        r: &mut rose_sim_core::snap::SnapReader<'_>,
+    ) -> Result<TrailInfo, rose_sim_core::snap::SnapError> {
+        Ok(TrailInfo {
+            lateral_offset: r.f64()?,
+            heading_error: r.f64()?,
+            half_width: r.f64()?,
+            progress: r.f64()?,
+        })
+    }
+}
+
 /// An application-level message carried in a data packet.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AppMessage {

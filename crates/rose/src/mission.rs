@@ -85,6 +85,89 @@ impl MissionConfig {
     pub fn trace_clock(&self) -> TraceClock {
         TraceClock::new(self.soc.clock, FrameSpec::from_hz(self.frame_hz))
     }
+
+    /// Serializes the configuration into a snapshot stream. A snapshot is
+    /// self-contained: resume rebuilds the mission structure from this
+    /// embedded config, then overlays the dynamic state.
+    pub fn save_state(&self, w: &mut rose_sim_core::snap::SnapWriter) {
+        let MissionConfig {
+            soc,
+            controller,
+            world,
+            velocity,
+            initial_yaw_deg,
+            frame_hz,
+            frames_per_sync,
+            sync_mode,
+            seed,
+            max_sim_seconds,
+            gains,
+            trace,
+        } = self;
+        soc.save_state(w);
+        controller.save_state(w);
+        world.save_state(w);
+        w.f64(*velocity);
+        w.f64(*initial_yaw_deg);
+        w.u32(*frame_hz);
+        w.u64(*frames_per_sync);
+        w.u8(match sync_mode {
+            SyncMode::Sequential => 0,
+            SyncMode::Parallel => 1,
+        });
+        w.u64(*seed);
+        w.f64(*max_sim_seconds);
+        gains.save_state(w);
+        w.bool(*trace);
+    }
+
+    /// Restores a configuration from a snapshot stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rose_sim_core::snap::SnapError`] on a malformed
+    /// snapshot.
+    pub fn restore_state(
+        r: &mut rose_sim_core::snap::SnapReader<'_>,
+    ) -> Result<MissionConfig, rose_sim_core::snap::SnapError> {
+        let soc = SocConfig::restore_state(r)?;
+        let controller = ControllerChoice::restore_state(r)?;
+        let world = WorldKind::restore_state(r)?;
+        let velocity = r.f64()?;
+        let initial_yaw_deg = r.f64()?;
+        let frame_hz = r.u32()?;
+        let frames_per_sync = r.u64()?;
+        let sync_mode = match r.u8()? {
+            0 => SyncMode::Sequential,
+            1 => SyncMode::Parallel,
+            tag => {
+                return Err(rose_sim_core::snap::SnapError::BadTag {
+                    context: "MissionConfig.sync_mode",
+                    tag,
+                })
+            }
+        };
+        Ok(MissionConfig {
+            soc,
+            controller,
+            world,
+            velocity,
+            initial_yaw_deg,
+            frame_hz,
+            frames_per_sync,
+            sync_mode,
+            seed: r.u64()?,
+            max_sim_seconds: r.f64()?,
+            gains: ControlGains::restore_state(r)?,
+            trace: r.bool()?,
+        })
+    }
+
+    /// The number of synchronization periods implied by the simulated-time
+    /// wall ([`MissionConfig::max_sim_seconds`]).
+    pub fn max_syncs(&self) -> u64 {
+        (self.max_sim_seconds * self.frame_hz as f64 / self.frames_per_sync as f64).ceil() as u64
+    }
 }
 
 /// The outcome of one mission.
@@ -167,10 +250,7 @@ impl MissionReport {
 /// Builds and runs one mission to completion (goal or timeout).
 pub fn run_mission(config: &MissionConfig) -> MissionReport {
     let (mut sync, metrics) = build_mission(config);
-    let frames_per_sync = config.frames_per_sync;
-    let max_syncs =
-        (config.max_sim_seconds * config.frame_hz as f64 / frames_per_sync as f64).ceil() as u64;
-    sync.run_until(max_syncs, |env, _| env.sim().mission_complete());
+    sync.run_until(config.max_syncs(), |env, _| env.sim().mission_complete());
     finish_report(config, sync, &metrics)
 }
 
@@ -274,10 +354,7 @@ pub fn run_mission_multitenant(
     if config.trace {
         sync.set_tracer(Tracer::enabled(config.trace_clock()));
     }
-    let max_syncs =
-        (config.max_sim_seconds * config.frame_hz as f64 / config.frames_per_sync as f64).ceil()
-            as u64;
-    sync.run_until(max_syncs, |env, _| env.sim().mission_complete());
+    sync.run_until(config.max_syncs(), |env, _| env.sim().mission_complete());
     let report = finish_report(config, sync, &metrics);
     let processed = loops.load(std::sync::atomic::Ordering::Relaxed);
     (report, processed)

@@ -32,6 +32,26 @@ impl SocRtl {
     pub fn into_soc(self) -> Soc {
         self.soc
     }
+
+    /// Serializes the endpoint (the wrapped SoC; the wrapper itself holds
+    /// no state of its own).
+    pub fn save_state(&self, w: &mut rose_sim_core::snap::SnapWriter) {
+        let SocRtl { soc } = self;
+        soc.save_state(w);
+    }
+
+    /// Restores the endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rose_sim_core::snap::SnapError`] on a malformed
+    /// snapshot.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rose_sim_core::snap::SnapReader<'_>,
+    ) -> Result<(), rose_sim_core::snap::SnapError> {
+        self.soc.restore_state(r)
+    }
 }
 
 impl RtlSide for SocRtl {

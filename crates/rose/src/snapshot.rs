@@ -1,0 +1,370 @@
+//! Mission snapshot, fork, and resume (DESIGN.md §4e).
+//!
+//! A [`MissionSnapshot`] is a compact, versioned, dependency-free
+//! serialization of the **entire** co-simulation state at a quantum
+//! boundary: the environment (UAV pose, dynamics integrator, sensor RNG
+//! streams), the SoC (CPU/cache/accelerator counters, cost caches, the
+//! in-flight program position), the bridge queues, the synchronizer
+//! position, and every component's trace prefix. Resuming a snapshot and
+//! running to completion produces a [`crate::audit::MissionDigest`]
+//! **bit-identical** to the straight run — under both
+//! [`SyncMode::Sequential`] and [`SyncMode::Parallel`] — which is the
+//! correctness gate the determinism auditor enforces.
+//!
+//! # Format
+//!
+//! ```text
+//! section "ROSE" | u16 version | MissionConfig | CoSimEnv | SocRtl | Synchronizer
+//! ```
+//!
+//! The snapshot embeds its [`MissionConfig`], so it is self-contained:
+//! resume rebuilds the mission *structure* (boxed programs, worlds,
+//! autopilots, interned labels) from the config exactly as
+//! [`build_mission`] does, then overlays the dynamic state field by
+//! field. Structural state never travels in the byte stream — only
+//! state that changes as the mission runs.
+//!
+//! # Warm-starting sweeps
+//!
+//! The expensive prefix of every mission is identical within one SoC
+//! configuration: boot, first frames, cache and cost-model warm-up. A
+//! sweep (e.g. the Figure 10 trajectory study) can run that prefix
+//! *once*, [`Mission::snapshot`] it, and [`Mission::fork`] one branch
+//! per sweep point, perturbing each branch (initial yaw, gains) before
+//! running it to completion.
+//!
+//! [`SyncMode::Sequential`]: rose_bridge::sync::SyncMode::Sequential
+//! [`SyncMode::Parallel`]: rose_bridge::sync::SyncMode::Parallel
+
+use crate::app::AppMetrics;
+use crate::envside::CoSimEnv;
+use crate::mission::{build_mission, finish_report, MissionConfig, MissionReport};
+use crate::rtlside::SocRtl;
+use parking_lot::Mutex;
+use rose_bridge::sync::Synchronizer;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
+use std::sync::Arc;
+
+/// A running (or paused) mission: the full co-simulation plus its
+/// configuration, steppable in units of synchronization periods and
+/// snapshottable at any quantum boundary.
+#[derive(Debug)]
+pub struct Mission {
+    config: MissionConfig,
+    sync: Synchronizer<CoSimEnv, SocRtl>,
+    metrics: Arc<Mutex<AppMetrics>>,
+}
+
+impl Mission {
+    /// Builds a mission at its initial state (nothing executed yet).
+    pub fn start(config: &MissionConfig) -> Mission {
+        let (sync, metrics) = build_mission(config);
+        Mission {
+            config: config.clone(),
+            sync,
+            metrics,
+        }
+    }
+
+    /// The mission's configuration.
+    pub fn config(&self) -> &MissionConfig {
+        &self.config
+    }
+
+    /// The environment endpoint.
+    pub fn env(&self) -> &CoSimEnv {
+        self.sync.env()
+    }
+
+    /// The RTL endpoint.
+    pub fn rtl(&self) -> &SocRtl {
+        self.sync.rtl()
+    }
+
+    /// Synchronization periods executed so far.
+    pub fn syncs_executed(&self) -> u64 {
+        self.sync.stats().syncs
+    }
+
+    /// True once the UAV has crossed the goal plane.
+    pub fn complete(&self) -> bool {
+        self.sync.env().sim().mission_complete()
+    }
+
+    /// Shared handle to the application's metrics.
+    pub fn metrics(&self) -> Arc<Mutex<AppMetrics>> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Runs up to `n` synchronization periods, stopping early at mission
+    /// completion or an SoC halt. Returns the number executed.
+    pub fn run_syncs(&mut self, n: u64) -> u64 {
+        self.sync.run_until(n, |env, _| env.sim().mission_complete())
+    }
+
+    /// Runs until the mission completes, the SoC halts, or the simulated
+    /// time wall ([`MissionConfig::max_sim_seconds`]) is reached, then
+    /// extracts the report. Periods already executed (including those
+    /// executed before a snapshot was taken) count against the wall.
+    pub fn run_to_completion(self) -> MissionReport {
+        let Mission {
+            config,
+            mut sync,
+            metrics,
+        } = self;
+        let remaining = config.max_syncs().saturating_sub(sync.stats().syncs);
+        sync.run_until(remaining, |env, _| env.sim().mission_complete());
+        finish_report(&config, sync, &metrics)
+    }
+
+    /// Extracts the report at the current position without running further.
+    pub fn finish(self) -> MissionReport {
+        finish_report(&self.config, self.sync, &self.metrics)
+    }
+
+    /// Rotates the UAV in place by `dyaw` radians — the divergence knob
+    /// for forked sweep branches.
+    pub fn perturb_yaw(&mut self, dyaw: f64) {
+        self.sync.env_mut().sim_mut().perturb_yaw(dyaw);
+    }
+
+    /// Serializes the complete co-simulation state. Valid at any quantum
+    /// boundary (between [`run_syncs`](Mission::run_syncs) calls).
+    pub fn snapshot(&self) -> MissionSnapshot {
+        let mut w = SnapWriter::new();
+        w.section(MissionSnapshot::MAGIC);
+        w.u16(MissionSnapshot::VERSION);
+        self.config.save_state(&mut w);
+        self.sync.env().save_state(&mut w);
+        self.sync.rtl().save_state(&mut w);
+        self.sync.save_state(&mut w);
+        MissionSnapshot {
+            bytes: w.into_bytes(),
+        }
+    }
+
+    /// Clones the running mission into `n` independent branches, each
+    /// resumed from the same snapshot of `self`. The branches share no
+    /// state; diverge them with [`perturb_yaw`](Mission::perturb_yaw) or
+    /// by reconfiguring before running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] if the snapshot fails to round-trip —
+    /// which would indicate a save/restore asymmetry bug.
+    pub fn fork(&self, n: usize) -> Result<Vec<Mission>, SnapError> {
+        let snap = self.snapshot();
+        (0..n).map(|_| snap.resume()).collect()
+    }
+}
+
+/// A serialized mission: the byte-level snapshot format. See the module
+/// docs for the layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissionSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl MissionSnapshot {
+    /// Leading section magic: `"ROSE"` in big-endian byte order.
+    pub const MAGIC: u32 = 0x524f_5345;
+    /// Newest format version this build reads and writes.
+    pub const VERSION: u16 = 1;
+
+    /// The raw snapshot bytes (e.g. for writing to a checkpoint file).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Takes ownership of the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Wraps bytes read back from a checkpoint file. Validation is
+    /// deferred to [`resume`](MissionSnapshot::resume) /
+    /// [`config`](MissionSnapshot::config), which fail with a
+    /// [`SnapError`] on a corrupt or foreign buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> MissionSnapshot {
+        MissionSnapshot { bytes }
+    }
+
+    /// Decodes just the embedded [`MissionConfig`] (header + config
+    /// prefix), without rebuilding the mission.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on a corrupt header or config.
+    pub fn config(&self) -> Result<MissionConfig, SnapError> {
+        let mut r = SnapReader::new(&self.bytes);
+        Self::read_header(&mut r)?;
+        MissionConfig::restore_state(&mut r)
+    }
+
+    /// Rebuilds the mission: constructs the structure from the embedded
+    /// config, then overlays every component's dynamic state. The
+    /// returned [`Mission`] continues bit-identically to the mission the
+    /// snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on a corrupt, truncated, version-mismatched, or
+    /// trailing-byte-carrying buffer.
+    pub fn resume(&self) -> Result<Mission, SnapError> {
+        let mut r = SnapReader::new(&self.bytes);
+        Self::read_header(&mut r)?;
+        let config = MissionConfig::restore_state(&mut r)?;
+        let (mut sync, metrics) = build_mission(&config);
+        sync.env_mut().restore_state(&mut r)?;
+        sync.rtl_mut().restore_state(&mut r)?;
+        sync.restore_state(&mut r)?;
+        r.finish()?;
+        Ok(Mission {
+            config,
+            sync,
+            metrics,
+        })
+    }
+
+    fn read_header(r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section(Self::MAGIC)?;
+        let version = r.u16()?;
+        if version != Self::VERSION {
+            return Err(SnapError::BadVersion {
+                supported: Self::VERSION as u32,
+                found: version as u32,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::MissionDigest;
+    use crate::mission::run_mission;
+    use rose_bridge::sync::SyncMode;
+
+    fn short(sync_mode: SyncMode) -> MissionConfig {
+        MissionConfig {
+            max_sim_seconds: 2.0,
+            trace: true,
+            sync_mode,
+            ..MissionConfig::default()
+        }
+    }
+
+    fn digest_of_resumed(config: &MissionConfig, snapshot_at_syncs: u64) -> MissionDigest {
+        let mut mission = Mission::start(config);
+        mission.run_syncs(snapshot_at_syncs);
+        let snap = mission.snapshot();
+        let resumed = snap.resume().expect("snapshot must resume");
+        MissionDigest::of(&resumed.run_to_completion())
+    }
+
+    #[test]
+    fn resume_is_bit_identical_sequential() {
+        let config = short(SyncMode::Sequential);
+        let straight = MissionDigest::of(&run_mission(&config));
+        for boundary in [0, 1, 17, 60] {
+            assert_eq!(
+                digest_of_resumed(&config, boundary),
+                straight,
+                "divergence after snapshot at sync {boundary}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_parallel() {
+        let config = short(SyncMode::Parallel);
+        let straight = MissionDigest::of(&run_mission(&config));
+        for boundary in [0, 1, 17, 60] {
+            assert_eq!(
+                digest_of_resumed(&config, boundary),
+                straight,
+                "divergence after snapshot at sync {boundary}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_byte_identically() {
+        let config = short(SyncMode::Sequential);
+        let mut mission = Mission::start(&config);
+        mission.run_syncs(25);
+        let first = mission.snapshot();
+        let resumed = first.resume().expect("resume");
+        let second = resumed.snapshot();
+        assert_eq!(
+            first.bytes(),
+            second.bytes(),
+            "serialize → deserialize → serialize must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn snapshot_config_decodes_without_resume() {
+        let config = short(SyncMode::Parallel);
+        let mission = Mission::start(&config);
+        let snap = mission.snapshot();
+        assert_eq!(snap.config().expect("config decodes"), config);
+    }
+
+    #[test]
+    fn forked_branches_run_independently() {
+        let config = short(SyncMode::Sequential);
+        let mut mission = Mission::start(&config);
+        mission.run_syncs(20);
+        let branches = mission.fork(2).expect("fork");
+        let mut digests = Vec::new();
+        let mut diverged = Vec::new();
+        for (i, mut branch) in branches.into_iter().enumerate() {
+            if i == 1 {
+                branch.perturb_yaw(0.3);
+                diverged.push(true);
+            } else {
+                diverged.push(false);
+            }
+            digests.push(MissionDigest::of(&branch.run_to_completion()));
+        }
+        // The unperturbed branch reproduces the straight run...
+        assert_eq!(digests[0], MissionDigest::of(&run_mission(&config)));
+        // ...and the perturbed branch flies a different trajectory.
+        assert_ne!(digests[0].trajectory, digests[1].trajectory);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let config = short(SyncMode::Sequential);
+        let mission = Mission::start(&config);
+        let snap = mission.snapshot();
+
+        // Wrong magic.
+        let mut bad = snap.bytes().to_vec();
+        bad[0] ^= 0xFF;
+        assert!(MissionSnapshot::from_bytes(bad).resume().is_err());
+
+        // Unsupported version.
+        let mut bad = snap.bytes().to_vec();
+        bad[4] = 0xFF;
+        assert!(matches!(
+            MissionSnapshot::from_bytes(bad).resume(),
+            Err(SnapError::BadVersion { .. })
+        ));
+
+        // Truncation anywhere in the stream.
+        let mut bad = snap.bytes().to_vec();
+        bad.truncate(bad.len() / 2);
+        assert!(MissionSnapshot::from_bytes(bad).resume().is_err());
+
+        // Trailing garbage.
+        let mut bad = snap.bytes().to_vec();
+        bad.push(0);
+        assert!(matches!(
+            MissionSnapshot::from_bytes(bad).resume(),
+            Err(SnapError::TrailingBytes { .. })
+        ));
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`stats`] — streaming statistics and histograms used by the benchmark
 //!   harness.
 //! * [`csv`] — minimal CSV log writing matching the artifact's CSV outputs.
+//! * [`snap`] — the versioned, dependency-free snapshot codec behind
+//!   mission snapshot / fork / resume.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod fnv;
 pub mod math;
 pub mod pid;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 
 pub use cycles::{ClockSpec, Cycle, Frame, FrameSpec, SimTime, SyncRatio};
@@ -48,3 +51,4 @@ pub use fnv::Fnv64;
 pub use math::{Quat, Vec3};
 pub use pid::Pid;
 pub use rng::SimRng;
+pub use snap::{SnapError, SnapReader, SnapWriter};

@@ -4,6 +4,7 @@
 //! frame conversions. World frame is NED-like but with Z up: X forward along
 //! the corridor, Y left/right (lateral), Z up. Yaw is rotation about +Z.
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
@@ -19,6 +20,27 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
+    /// Serializes the vector bit-exactly.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let Vec3 { x, y, z } = self;
+        w.f64(*x);
+        w.f64(*y);
+        w.f64(*z);
+    }
+
+    /// Deserializes a vector written by [`Vec3::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a truncated snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Vec3, SnapError> {
+        Ok(Vec3 {
+            x: r.f64()?,
+            y: r.f64()?,
+            z: r.f64()?,
+        })
+    }
+
     /// The zero vector.
     pub const ZERO: Vec3 = Vec3 {
         x: 0.0,
@@ -170,6 +192,29 @@ pub struct Quat {
 }
 
 impl Quat {
+    /// Serializes the quaternion bit-exactly.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let Quat { w: qw, x, y, z } = self;
+        w.f64(*qw);
+        w.f64(*x);
+        w.f64(*y);
+        w.f64(*z);
+    }
+
+    /// Deserializes a quaternion written by [`Quat::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a truncated snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Quat, SnapError> {
+        Ok(Quat {
+            w: r.f64()?,
+            x: r.f64()?,
+            y: r.f64()?,
+            z: r.f64()?,
+        })
+    }
+
     /// The identity rotation.
     pub const IDENTITY: Quat = Quat {
         w: 1.0,

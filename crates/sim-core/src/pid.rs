@@ -4,6 +4,7 @@
 //! hierarchy of these controllers managing position, velocity, and angle of
 //! attack targets.
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// PID gains and limits.
@@ -105,6 +106,28 @@ impl Pid {
     pub fn reset(&mut self) {
         self.integral = 0.0;
         self.prev_error = None;
+    }
+
+    /// Serializes the controller's dynamic state (gains are structural).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let Pid {
+            config: _,
+            integral,
+            prev_error,
+        } = self;
+        w.f64(*integral);
+        w.opt_f64(*prev_error);
+    }
+
+    /// Restores the controller's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.integral = r.f64()?;
+        self.prev_error = r.opt_f64()?;
+        Ok(())
     }
 
     /// Advances the controller by `dt` seconds and returns the new output.

@@ -10,7 +10,19 @@
 //! The generator is SplitMix64 (Steele et al., "Fast splittable pseudorandom
 //! number generators"), chosen because it is tiny, passes BigCrush when used
 //! as a 64-bit generator, and splits cleanly into independent streams.
+//!
+//! # No hidden state
+//!
+//! `SimRng`'s entire dynamic state is the single `u64` exposed by
+//! [`SimRng::state_bits`] / restored by [`SimRng::restore_state_bits`] —
+//! there is no cached Box–Muller spare, rejection carry, or any other
+//! hidden draw (see [`SimRng::gaussian`]). Snapshotting that one word and
+//! restoring it resumes every derived distribution — uniform, Lemire
+//! integer, Bernoulli, Gaussian — bit-identically mid-stream, a contract
+//! the mission snapshot / fork / resume machinery depends on and the
+//! `gaussian_stream_has_no_hidden_state` test enforces.
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::fmt;
 
 /// A deterministic pseudorandom stream.
@@ -63,6 +75,37 @@ impl SimRng {
         }
     }
 
+    /// The stream's complete dynamic state (see the module docs: there is
+    /// no other mutable state).
+    pub fn state_bits(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrites the stream position with a state captured by
+    /// [`SimRng::state_bits`]. The label is structural (it identifies the
+    /// stream in debug dumps) and is kept.
+    pub fn restore_state_bits(&mut self, state: u64) {
+        self.state = state;
+    }
+
+    /// Serializes the stream's dynamic state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        // The label is structural: it is re-established by rebuilding the
+        // component that owns this stream from its config.
+        let SimRng { state, label: _ } = self;
+        w.u64(*state);
+    }
+
+    /// Restores the stream's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a truncated snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.state = r.u64()?;
+        Ok(())
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
@@ -112,8 +155,17 @@ impl SimRng {
         self.next_f64() < p
     }
 
-    /// Standard normal sample (Box–Muller; one value per call, the pair's
-    /// second element is discarded to keep the stream stateless).
+    /// Standard normal sample.
+    ///
+    /// Box–Muller produces values in pairs; this implementation computes
+    /// only the cosine branch and **discards the pair's second element**,
+    /// by contract: caching the spare would be hidden stochastic state
+    /// that a snapshot could not capture, making mid-stream resume
+    /// diverge. Every call therefore consumes a whole number of
+    /// `next_u64` draws (two per accepted sample, plus one per rejected
+    /// `u == 0.0` draw), and the stream position after any call is fully
+    /// described by [`SimRng::state_bits`]. The
+    /// `gaussian_stream_has_no_hidden_state` test pins this down.
     pub fn gaussian(&mut self) -> f64 {
         loop {
             let u = self.next_f64();
@@ -197,6 +249,62 @@ mod tests {
         let var = sq / n as f64 - mean * mean;
         assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.03, "var {var} too far from 1");
+    }
+
+    #[test]
+    fn gaussian_stream_has_no_hidden_state() {
+        // Resuming from the captured state mid-stream must reproduce the
+        // remaining gaussian draws bit-exactly: any cached Box–Muller
+        // spare or rejection carry would break this.
+        let mut rng = SimRng::new(0xfeed);
+        for _ in 0..257 {
+            rng.gaussian();
+        }
+        let saved = rng.state_bits();
+        let tail: Vec<u64> = (0..512).map(|_| rng.gaussian().to_bits()).collect();
+
+        let mut resumed = SimRng::new(0xfeed).split("other-label-is-structural");
+        resumed.restore_state_bits(saved);
+        let replay: Vec<u64> = (0..512).map(|_| resumed.gaussian().to_bits()).collect();
+        assert_eq!(tail, replay, "gaussian stream diverged after resume");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_all_distributions() {
+        let mut rng = SimRng::new(99).split("sensor");
+        rng.gaussian();
+        rng.below(17);
+        rng.chance(0.5);
+
+        let mut w = SnapWriter::new();
+        rng.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let expected: Vec<u64> = {
+            let mut c = rng.clone();
+            (0..64)
+                .map(|i| match i % 4 {
+                    0 => c.next_u64(),
+                    1 => c.gaussian().to_bits(),
+                    2 => c.below(1000),
+                    _ => c.chance(0.3) as u64,
+                })
+                .collect()
+        };
+
+        let mut restored = SimRng::new(99).split("sensor");
+        let mut r = SnapReader::new(&bytes);
+        restored.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        let got: Vec<u64> = (0..64)
+            .map(|i| match i % 4 {
+                0 => restored.next_u64(),
+                1 => restored.gaussian().to_bits(),
+                2 => restored.below(1000),
+                _ => restored.chance(0.3) as u64,
+            })
+            .collect();
+        assert_eq!(expected, got);
     }
 
     #[test]

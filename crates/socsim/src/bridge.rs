@@ -15,6 +15,7 @@
 //! * the **target side** (driven by the simulated SoC through MMIO):
 //!   [`RoseBridgeHw::target_try_recv`], [`RoseBridgeHw::target_send`].
 
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -79,6 +80,61 @@ impl RoseBridgeHw {
     /// Remaining cycle budget granted by the control unit.
     pub fn budget(&self) -> u64 {
         self.budget
+    }
+
+    /// Serializes queue occupancy (both directions, message payloads
+    /// included), the remaining throttle budget, and traffic counters.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let RoseBridgeHw {
+            config: _,
+            rx,
+            rx_bytes,
+            tx,
+            tx_bytes,
+            budget,
+            stats,
+        } = self;
+        w.usize(rx.len());
+        for msg in rx {
+            w.bytes(msg);
+        }
+        w.usize(*rx_bytes);
+        w.usize(tx.len());
+        for msg in tx {
+            w.bytes(msg);
+        }
+        w.usize(*tx_bytes);
+        w.u64(*budget);
+        w.u64(stats.rx_msgs);
+        w.u64(stats.rx_bytes);
+        w.u64(stats.tx_msgs);
+        w.u64(stats.tx_bytes);
+    }
+
+    /// Restores queue occupancy, budget, and counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n_rx = r.usize()?;
+        self.rx.clear();
+        for _ in 0..n_rx {
+            self.rx.push_back(r.bytes()?);
+        }
+        self.rx_bytes = r.usize()?;
+        let n_tx = r.usize()?;
+        self.tx.clear();
+        for _ in 0..n_tx {
+            self.tx.push_back(r.bytes()?);
+        }
+        self.tx_bytes = r.usize()?;
+        self.budget = r.u64()?;
+        self.stats.rx_msgs = r.u64()?;
+        self.stats.rx_bytes = r.u64()?;
+        self.stats.tx_msgs = r.u64()?;
+        self.stats.tx_bytes = r.u64()?;
+        Ok(())
     }
 
     // --- Host (bridge driver) side -------------------------------------

@@ -16,6 +16,7 @@ use crate::cpu::CpuConfig;
 use crate::gemmini::GemminiConfig;
 use crate::mem::MemConfig;
 use rose_sim_core::cycles::ClockSpec;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -26,6 +27,32 @@ pub enum CoreKind {
     Rocket,
     /// 3-wide superscalar out-of-order core (SonicBOOM-class).
     Boom,
+}
+
+impl CoreKind {
+    /// Serializes the core kind as a stable one-byte tag.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            CoreKind::Rocket => 0,
+            CoreKind::Boom => 1,
+        });
+    }
+
+    /// Restores a core kind from its tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::BadTag`] on an unknown tag.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<CoreKind, SnapError> {
+        match r.u8()? {
+            0 => Ok(CoreKind::Rocket),
+            1 => Ok(CoreKind::Boom),
+            tag => Err(SnapError::BadTag {
+                context: "CoreKind",
+                tag,
+            }),
+        }
+    }
 }
 
 impl fmt::Display for CoreKind {
@@ -129,6 +156,64 @@ impl SocConfig {
     /// True if this SoC carries a DNN accelerator.
     pub fn has_accelerator(&self) -> bool {
         self.gemmini.is_some()
+    }
+
+    /// Serializes the full configuration.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let SocConfig {
+            name,
+            core,
+            gemmini,
+            mem,
+            clock,
+        } = self;
+        w.str(name);
+        core.save_state(w);
+        match gemmini {
+            Some(g) => {
+                w.u8(1);
+                g.save_state(w);
+            }
+            None => w.u8(0),
+        }
+        mem.save_state(w);
+        w.u64(clock.hz());
+    }
+
+    /// Restores a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot; a zero clock
+    /// frequency is rejected as [`SnapError::BadTag`].
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<SocConfig, SnapError> {
+        let name = r.string()?;
+        let core = CoreKind::restore_state(r)?;
+        let gemmini = match r.u8()? {
+            0 => None,
+            1 => Some(GemminiConfig::restore_state(r)?),
+            tag => {
+                return Err(SnapError::BadTag {
+                    context: "SocConfig.gemmini presence",
+                    tag,
+                })
+            }
+        };
+        let mem = MemConfig::restore_state(r)?;
+        let hz = r.u64()?;
+        if hz == 0 {
+            return Err(SnapError::BadTag {
+                context: "SocConfig.clock hz",
+                tag: 0,
+            });
+        }
+        Ok(SocConfig {
+            name,
+            core,
+            gemmini,
+            mem,
+            clock: ClockSpec::from_hz(hz),
+        })
     }
 }
 

@@ -16,6 +16,7 @@
 
 use crate::kernel::{InstrClass, Kernel, KernelTrace};
 use crate::mem::MemSystem;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -153,6 +154,33 @@ impl CpuModel {
     pub fn add_cached(&mut self, cycles: u64, instrs: u64) {
         self.stats.cycles += cycles;
         self.stats.instrs += instrs;
+    }
+
+    /// Serializes the core's dynamic state: execution counters and the
+    /// branch-predictor noise stream. The configuration is structural.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let CpuModel {
+            config: _,
+            stats,
+            branch_rng,
+        } = self;
+        w.u64(stats.instrs);
+        w.u64(stats.cycles);
+        w.u64(stats.mispredicts);
+        w.u64(*branch_rng);
+    }
+
+    /// Restores the core's dynamic state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stats.instrs = r.u64()?;
+        self.stats.cycles = r.u64()?;
+        self.stats.mispredicts = r.u64()?;
+        self.branch_rng = r.u64()?;
+        Ok(())
     }
 
     fn next_rand(&mut self) -> f64 {

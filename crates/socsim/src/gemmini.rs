@@ -13,6 +13,7 @@
 //! buffering, and raises the bus utilization seen by concurrent CPU misses.
 
 use crate::mem::MemSystem;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Systolic array dataflow.
@@ -60,6 +61,52 @@ impl GemminiConfig {
     pub fn peak_macs_per_cycle(&self) -> u64 {
         (self.mesh_rows * self.mesh_cols) as u64
     }
+
+    /// Serializes the generator parameters.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let GemminiConfig {
+            mesh_rows,
+            mesh_cols,
+            scratchpad_bytes,
+            accumulator_bytes,
+            dataflow,
+            cmd_overhead,
+        } = self;
+        w.usize(*mesh_rows);
+        w.usize(*mesh_cols);
+        w.usize(*scratchpad_bytes);
+        w.usize(*accumulator_bytes);
+        w.u8(match dataflow {
+            Dataflow::WeightStationary => 0,
+            Dataflow::OutputStationary => 1,
+        });
+        w.u64(*cmd_overhead);
+    }
+
+    /// Restores generator parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<GemminiConfig, SnapError> {
+        Ok(GemminiConfig {
+            mesh_rows: r.usize()?,
+            mesh_cols: r.usize()?,
+            scratchpad_bytes: r.usize()?,
+            accumulator_bytes: r.usize()?,
+            dataflow: match r.u8()? {
+                0 => Dataflow::WeightStationary,
+                1 => Dataflow::OutputStationary,
+                tag => {
+                    return Err(SnapError::BadTag {
+                        context: "Dataflow",
+                        tag,
+                    });
+                }
+            },
+            cmd_overhead: r.u64()?,
+        })
+    }
 }
 
 /// A convolution shape (NCHW, square kernels, `same`-style padding).
@@ -91,6 +138,37 @@ impl ConvShape {
             self.out_c,
         )
     }
+
+    /// Serializes the shape.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let ConvShape {
+            in_c,
+            out_c,
+            out_h,
+            out_w,
+            ksize,
+        } = self;
+        w.usize(*in_c);
+        w.usize(*out_c);
+        w.usize(*out_h);
+        w.usize(*out_w);
+        w.usize(*ksize);
+    }
+
+    /// Restores a shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<ConvShape, SnapError> {
+        Ok(ConvShape {
+            in_c: r.usize()?,
+            out_c: r.usize()?,
+            out_h: r.usize()?,
+            out_w: r.usize()?,
+            ksize: r.usize()?,
+        })
+    }
 }
 
 /// The timing result of one accelerator command stream.
@@ -116,6 +194,37 @@ impl AccelRun {
             return 0.0;
         }
         self.macs as f64 / (self.cycles as f64 * config.peak_macs_per_cycle() as f64)
+    }
+
+    /// Serializes the run record.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let AccelRun {
+            cycles,
+            compute_cycles,
+            dma_bytes,
+            macs,
+            tiles,
+        } = self;
+        w.u64(*cycles);
+        w.u64(*compute_cycles);
+        w.u64(*dma_bytes);
+        w.u64(*macs);
+        w.u64(*tiles);
+    }
+
+    /// Restores a run record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<AccelRun, SnapError> {
+        Ok(AccelRun {
+            cycles: r.u64()?,
+            compute_cycles: r.u64()?,
+            dma_bytes: r.u64()?,
+            macs: r.u64()?,
+            tiles: r.u64()?,
+        })
     }
 
     fn merge(&mut self, other: AccelRun) {
@@ -159,6 +268,28 @@ impl GemminiModel {
     /// Total MACs across the accelerator's lifetime.
     pub fn total_macs(&self) -> u64 {
         self.total_macs
+    }
+
+    /// Serializes the accelerator's lifetime activity counters.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let GemminiModel {
+            config: _,
+            total_cycles,
+            total_macs,
+        } = self;
+        w.u64(*total_cycles);
+        w.u64(*total_macs);
+    }
+
+    /// Restores the accelerator's lifetime activity counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.total_cycles = r.u64()?;
+        self.total_macs = r.u64()?;
+        Ok(())
     }
 
     /// Times a tiled matmul `C[m×n] = A[m×k] · B[k×n]` in FP32.

@@ -8,6 +8,7 @@
 //! scaled (SMARTS-style systematic sampling), which keeps multi-second
 //! CPU-only inferences tractable while preserving cache locality patterns.
 
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Functional-unit class of one instruction.
@@ -135,6 +136,36 @@ pub enum ElemKind {
     Bias,
 }
 
+impl ElemKind {
+    /// Serializes the kind as a stable one-byte tag.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            ElemKind::Relu => 0,
+            ElemKind::BatchNorm => 1,
+            ElemKind::Add => 2,
+            ElemKind::Bias => 3,
+        });
+    }
+
+    /// Restores a kind from its tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<ElemKind, SnapError> {
+        match r.u8()? {
+            0 => Ok(ElemKind::Relu),
+            1 => Ok(ElemKind::BatchNorm),
+            2 => Ok(ElemKind::Add),
+            3 => Ok(ElemKind::Bias),
+            tag => Err(SnapError::BadTag {
+                context: "ElemKind",
+                tag,
+            }),
+        }
+    }
+}
+
 /// A CPU workload kernel.
 ///
 /// Kernels are descriptors: the cycle cost is obtained by expanding the
@@ -197,6 +228,94 @@ pub enum Kernel {
         /// Abstract operation count.
         ops: usize,
     },
+}
+
+impl Kernel {
+    /// Serializes the kernel descriptor (tag byte plus dimension fields).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match *self {
+            Kernel::MatMul { m, k, n } => {
+                w.u8(0);
+                w.usize(m);
+                w.usize(k);
+                w.usize(n);
+            }
+            Kernel::Im2col {
+                channels,
+                ksize,
+                out_elems,
+            } => {
+                w.u8(1);
+                w.usize(channels);
+                w.usize(ksize);
+                w.usize(out_elems);
+            }
+            Kernel::Elementwise { n, kind } => {
+                w.u8(2);
+                w.usize(n);
+                kind.save_state(w);
+            }
+            Kernel::Pool { out_elems, window } => {
+                w.u8(3);
+                w.usize(out_elems);
+                w.usize(window);
+            }
+            Kernel::Softmax { n } => {
+                w.u8(4);
+                w.usize(n);
+            }
+            Kernel::Memcpy { bytes } => {
+                w.u8(5);
+                w.usize(bytes);
+            }
+            Kernel::FrameworkNode { tensors } => {
+                w.u8(6);
+                w.usize(tensors);
+            }
+            Kernel::Control { ops } => {
+                w.u8(7);
+                w.usize(ops);
+            }
+        }
+    }
+
+    /// Restores a kernel descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Kernel, SnapError> {
+        match r.u8()? {
+            0 => Ok(Kernel::MatMul {
+                m: r.usize()?,
+                k: r.usize()?,
+                n: r.usize()?,
+            }),
+            1 => Ok(Kernel::Im2col {
+                channels: r.usize()?,
+                ksize: r.usize()?,
+                out_elems: r.usize()?,
+            }),
+            2 => Ok(Kernel::Elementwise {
+                n: r.usize()?,
+                kind: ElemKind::restore_state(r)?,
+            }),
+            3 => Ok(Kernel::Pool {
+                out_elems: r.usize()?,
+                window: r.usize()?,
+            }),
+            4 => Ok(Kernel::Softmax { n: r.usize()? }),
+            5 => Ok(Kernel::Memcpy { bytes: r.usize()? }),
+            6 => Ok(Kernel::FrameworkNode {
+                tensors: r.usize()?,
+            }),
+            7 => Ok(Kernel::Control { ops: r.usize()? }),
+            tag => Err(SnapError::BadTag {
+                context: "Kernel",
+                tag,
+            }),
+        }
+    }
 }
 
 /// Base virtual addresses for kernel buffers (distinct 256 MiB regions so

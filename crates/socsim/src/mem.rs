@@ -7,6 +7,7 @@
 //! resource contention the paper argues isolated accelerator benchmarks
 //! miss (Section 1).
 
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache level.
@@ -34,6 +35,31 @@ impl CacheConfig {
         let sets = self.size_bytes / (self.ways * self.line_bytes);
         assert!(sets > 0, "cache smaller than one set");
         sets
+    }
+
+    /// Serializes the geometry.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes,
+        } = self;
+        w.usize(*size_bytes);
+        w.usize(*ways);
+        w.usize(*line_bytes);
+    }
+
+    /// Restores a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<CacheConfig, SnapError> {
+        Ok(CacheConfig {
+            size_bytes: r.usize()?,
+            ways: r.usize()?,
+            line_bytes: r.usize()?,
+        })
     }
 }
 
@@ -135,6 +161,64 @@ impl Cache {
             set.clear();
         }
     }
+
+    /// Serializes contents (tags in LRU order, dirty bits) and counters.
+    /// Geometry (`set_mask`, `line_shift`) is structural.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let Cache {
+            config: _,
+            sets,
+            stats,
+            set_mask: _,
+            line_shift: _,
+        } = self;
+        w.usize(sets.len());
+        for set in sets {
+            w.usize(set.len());
+            for &(tag, dirty) in set {
+                w.u64(tag);
+                w.bool(dirty);
+            }
+        }
+        w.u64(stats.hits);
+        w.u64(stats.misses);
+        w.u64(stats.writebacks);
+    }
+
+    /// Restores contents and counters into a cache of identical geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot, including a set
+    /// count or associativity that does not match this cache's geometry.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n_sets = r.usize()?;
+        if n_sets != self.sets.len() {
+            return Err(SnapError::BadLength {
+                len: n_sets as u64,
+                available: self.sets.len(),
+            });
+        }
+        for set in &mut self.sets {
+            let n = r.usize()?;
+            if n > self.config.ways {
+                return Err(SnapError::BadLength {
+                    len: n as u64,
+                    available: self.config.ways,
+                });
+            }
+            set.clear();
+            for _ in 0..n {
+                let tag = r.u64()?;
+                let dirty = r.bool()?;
+                set.push((tag, dirty));
+            }
+        }
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.stats.writebacks = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Memory system timing and geometry parameters.
@@ -158,6 +242,51 @@ pub struct MemConfig {
     pub mmio_latency: u64,
     /// Enables the L2 stream prefetcher (ablation knob).
     pub prefetch: bool,
+}
+
+impl MemConfig {
+    /// Serializes the parameters.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let MemConfig {
+            l1d,
+            l2,
+            l1_latency,
+            l2_latency,
+            dram_latency,
+            bus_bytes_per_cycle,
+            dram_bytes_per_cycle,
+            mmio_latency,
+            prefetch,
+        } = self;
+        l1d.save_state(w);
+        l2.save_state(w);
+        w.u64(*l1_latency);
+        w.u64(*l2_latency);
+        w.u64(*dram_latency);
+        w.f64(*bus_bytes_per_cycle);
+        w.f64(*dram_bytes_per_cycle);
+        w.u64(*mmio_latency);
+        w.bool(*prefetch);
+    }
+
+    /// Restores parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<MemConfig, SnapError> {
+        Ok(MemConfig {
+            l1d: CacheConfig::restore_state(r)?,
+            l2: CacheConfig::restore_state(r)?,
+            l1_latency: r.u64()?,
+            l2_latency: r.u64()?,
+            dram_latency: r.u64()?,
+            bus_bytes_per_cycle: r.f64()?,
+            dram_bytes_per_cycle: r.f64()?,
+            mmio_latency: r.u64()?,
+            prefetch: r.bool()?,
+        })
+    }
 }
 
 impl Default for MemConfig {
@@ -227,6 +356,27 @@ impl Bus {
     pub fn contended(&self, base: u64) -> u64 {
         (base as f64 / (1.0 - self.dma_utilization)).round() as u64
     }
+
+    /// Serializes the bus state.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let Bus {
+            dma_utilization,
+            total_bytes,
+        } = self;
+        w.f64(*dma_utilization);
+        w.u64(*total_bytes);
+    }
+
+    /// Restores the bus state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.dma_utilization = r.f64()?;
+        self.total_bytes = r.u64()?;
+        Ok(())
+    }
 }
 
 /// The full CPU-side memory hierarchy with timing.
@@ -257,6 +407,42 @@ impl MemSystem {
     /// Misses absorbed by the L2 stream prefetcher so far.
     pub fn prefetch_hits(&self) -> u64 {
         self.prefetch_hits
+    }
+
+    /// Serializes the hierarchy: both cache contents, bus state, and the
+    /// prefetcher's stream trackers.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let MemSystem {
+            config: _,
+            l1d,
+            l2,
+            bus,
+            prefetch_streams,
+            prefetch_hits,
+        } = self;
+        l1d.save_state(w);
+        l2.save_state(w);
+        bus.save_state(w);
+        for stream in prefetch_streams {
+            w.u64(*stream);
+        }
+        w.u64(*prefetch_hits);
+    }
+
+    /// Restores the hierarchy state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.l1d.restore_state(r)?;
+        self.l2.restore_state(r)?;
+        self.bus.restore_state(r)?;
+        for stream in &mut self.prefetch_streams {
+            *stream = r.u64()?;
+        }
+        self.prefetch_hits = r.u64()?;
+        Ok(())
     }
 
     /// Memory parameters.

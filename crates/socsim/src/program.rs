@@ -15,6 +15,7 @@
 
 use crate::gemmini::ConvShape;
 use crate::kernel::Kernel;
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 
 /// One operation issued by a target program.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +48,63 @@ pub enum TargetOp {
     Sleep(u64),
     /// Terminate the program; the SoC idles forever after.
     Halt,
+}
+
+impl TargetOp {
+    /// Serializes the operation (tag byte plus payload).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            TargetOp::CpuKernel(kernel) => {
+                w.u8(0);
+                kernel.save_state(w);
+            }
+            TargetOp::AccelConv(shape) => {
+                w.u8(1);
+                shape.save_state(w);
+            }
+            TargetOp::AccelMatmul { m, k, n } => {
+                w.u8(2);
+                w.usize(*m);
+                w.usize(*k);
+                w.usize(*n);
+            }
+            TargetOp::Recv => w.u8(3),
+            TargetOp::Send(msg) => {
+                w.u8(4);
+                w.bytes(msg);
+            }
+            TargetOp::Sleep(cycles) => {
+                w.u8(5);
+                w.u64(*cycles);
+            }
+            TargetOp::Halt => w.u8(6),
+        }
+    }
+
+    /// Restores an operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot.
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<TargetOp, SnapError> {
+        match r.u8()? {
+            0 => Ok(TargetOp::CpuKernel(Kernel::restore_state(r)?)),
+            1 => Ok(TargetOp::AccelConv(ConvShape::restore_state(r)?)),
+            2 => Ok(TargetOp::AccelMatmul {
+                m: r.usize()?,
+                k: r.usize()?,
+                n: r.usize()?,
+            }),
+            3 => Ok(TargetOp::Recv),
+            4 => Ok(TargetOp::Send(r.bytes()?)),
+            5 => Ok(TargetOp::Sleep(r.u64()?)),
+            6 => Ok(TargetOp::Halt),
+            tag => Err(SnapError::BadTag {
+                context: "TargetOp",
+                tag,
+            }),
+        }
+    }
 }
 
 /// Execution context handed to the program at each decision point.
@@ -100,6 +158,22 @@ pub trait TargetProgram: Send {
     fn name(&self) -> &str {
         "target-program"
     }
+
+    /// Serializes the program's dynamic state for a mission snapshot.
+    ///
+    /// Stateless programs can rely on the default no-op. Stateful programs
+    /// MUST override both this and [`TargetProgram::restore_state`]
+    /// symmetrically, or resumed missions will diverge from straight runs.
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores the program's dynamic state from a mission snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] on a malformed snapshot.
+    fn restore_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// A canned program replaying a fixed op list (useful in tests/benches).
@@ -134,6 +208,34 @@ impl TargetProgram for ScriptedProgram {
 
     fn name(&self) -> &str {
         "scripted"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        let ScriptedProgram { ops, received } = self;
+        let remaining = ops.as_slice();
+        w.usize(remaining.len());
+        for op in remaining {
+            op.save_state(w);
+        }
+        w.usize(received.len());
+        for msg in received {
+            w.bytes(msg);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n_ops = r.usize()?;
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            ops.push(TargetOp::restore_state(r)?);
+        }
+        self.ops = ops.into_iter();
+        let n_recv = r.usize()?;
+        self.received.clear();
+        for _ in 0..n_recv {
+            self.received.push(r.bytes()?);
+        }
+        Ok(())
     }
 }
 

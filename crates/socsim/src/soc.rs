@@ -14,6 +14,7 @@ use crate::gemmini::{AccelRun, ConvShape, GemminiModel};
 use crate::kernel::Kernel;
 use crate::mem::{CacheStats, MemSystem};
 use crate::program::{ProgContext, TargetOp, TargetProgram};
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 use rose_trace::{ArgValue, MetricRegistry, MetricSource, Track, TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
@@ -103,6 +104,55 @@ enum Effect {
     PushTx(Vec<u8>),
 }
 
+impl Pending {
+    fn save_state(&self, w: &mut SnapWriter) {
+        let Pending {
+            remaining,
+            idle,
+            effect,
+        } = self;
+        w.u64(*remaining);
+        w.bool(*idle);
+        effect.save_state(w);
+    }
+
+    fn restore_state(r: &mut SnapReader<'_>) -> Result<Pending, SnapError> {
+        Ok(Pending {
+            remaining: r.u64()?,
+            idle: r.bool()?,
+            effect: Effect::restore_state(r)?,
+        })
+    }
+}
+
+impl Effect {
+    fn save_state(&self, w: &mut SnapWriter) {
+        match self {
+            Effect::None => w.u8(0),
+            Effect::Deliver(msg) => {
+                w.u8(1);
+                w.bytes(msg);
+            }
+            Effect::PushTx(msg) => {
+                w.u8(2);
+                w.bytes(msg);
+            }
+        }
+    }
+
+    fn restore_state(r: &mut SnapReader<'_>) -> Result<Effect, SnapError> {
+        match r.u8()? {
+            0 => Ok(Effect::None),
+            1 => Ok(Effect::Deliver(r.bytes()?)),
+            2 => Ok(Effect::PushTx(r.bytes()?)),
+            tag => Err(SnapError::BadTag {
+                context: "Effect",
+                tag,
+            }),
+        }
+    }
+}
+
 /// The simulated SoC.
 pub struct Soc {
     config: SocConfig,
@@ -139,6 +189,9 @@ impl std::fmt::Debug for Soc {
 }
 
 impl Soc {
+    /// Section magic guarding the SoC's snapshot region ("SOCS").
+    pub const SNAP_SECTION: u32 = 0x534f_4353;
+
     /// Builds an SoC of the given configuration running `program`.
     pub fn new(config: SocConfig, program: Box<dyn TargetProgram>) -> Soc {
         Soc {
@@ -209,6 +262,168 @@ impl Soc {
             l2: self.mem.l2_stats(),
             bridge: self.bridge.stats(),
         }
+    }
+
+    /// Serializes the SoC's complete dynamic state.
+    ///
+    /// The destructuring is exhaustive on purpose: adding a field to [`Soc`]
+    /// without deciding how it snapshots becomes a compile error, upholding
+    /// the no-hidden-state contract (DESIGN.md §4e). `config` is structural
+    /// (rebuilt from [`MissionConfig`]-level data on resume); everything
+    /// else — in-flight op position, cost caches, timing-model state, queue
+    /// occupancy, and the trace prefix — round-trips through the snapshot.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let Soc {
+            config: _,
+            cpu,
+            gemmini,
+            mem,
+            bridge,
+            program,
+            now,
+            idle_cycles,
+            halted,
+            pending,
+            blocked,
+            inbox,
+            kernel_costs,
+            conv_costs,
+            matmul_costs,
+            tracer,
+        } = self;
+        w.section(Soc::SNAP_SECTION);
+        w.u64(*now);
+        w.u64(*idle_cycles);
+        w.bool(*halted);
+        match pending {
+            None => w.u8(0),
+            Some(p) => {
+                w.u8(1);
+                p.save_state(w);
+            }
+        }
+        match blocked {
+            None => w.u8(0),
+            Some(op) => {
+                w.u8(1);
+                op.save_state(w);
+            }
+        }
+        w.opt_bytes(inbox.as_deref());
+        cpu.save_state(w);
+        match gemmini {
+            None => w.u8(0),
+            Some(g) => {
+                w.u8(1);
+                g.save_state(w);
+            }
+        }
+        mem.save_state(w);
+        bridge.save_state(w);
+        w.usize(kernel_costs.len());
+        for (kernel, (cycles, instrs)) in kernel_costs {
+            kernel.save_state(w);
+            w.u64(*cycles);
+            w.u64(*instrs);
+        }
+        w.usize(conv_costs.len());
+        for (shape, run) in conv_costs {
+            shape.save_state(w);
+            run.save_state(w);
+        }
+        w.usize(matmul_costs.len());
+        for (&(m, k, n), run) in matmul_costs {
+            w.usize(m);
+            w.usize(k);
+            w.usize(n);
+            run.save_state(w);
+        }
+        program.save_state(w);
+        tracer.save_state(w);
+    }
+
+    /// Restores the SoC's dynamic state into a structurally identical SoC
+    /// (same [`SocConfig`] and program type).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on a malformed snapshot, including a
+    /// gemmini presence flag that contradicts this SoC's configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section(Soc::SNAP_SECTION)?;
+        self.now = r.u64()?;
+        self.idle_cycles = r.u64()?;
+        self.halted = r.bool()?;
+        self.pending = match r.u8()? {
+            0 => None,
+            1 => Some(Pending::restore_state(r)?),
+            tag => {
+                return Err(SnapError::BadTag {
+                    context: "Soc.pending",
+                    tag,
+                });
+            }
+        };
+        self.blocked = match r.u8()? {
+            0 => None,
+            1 => Some(TargetOp::restore_state(r)?),
+            tag => {
+                return Err(SnapError::BadTag {
+                    context: "Soc.blocked",
+                    tag,
+                });
+            }
+        };
+        self.inbox = r.opt_bytes()?;
+        self.cpu.restore_state(r)?;
+        let has_gemmini = match r.u8()? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(SnapError::BadTag {
+                    context: "Soc.gemmini",
+                    tag,
+                });
+            }
+        };
+        match (&mut self.gemmini, has_gemmini) {
+            (Some(g), true) => g.restore_state(r)?,
+            (None, false) => {}
+            (_, snapshot_has) => {
+                return Err(SnapError::BadTag {
+                    context: "Soc.gemmini presence mismatch",
+                    tag: snapshot_has as u8,
+                });
+            }
+        }
+        self.mem.restore_state(r)?;
+        self.bridge.restore_state(r)?;
+        let n_kernels = r.usize()?;
+        self.kernel_costs.clear();
+        for _ in 0..n_kernels {
+            let kernel = Kernel::restore_state(r)?;
+            let cycles = r.u64()?;
+            let instrs = r.u64()?;
+            self.kernel_costs.insert(kernel, (cycles, instrs));
+        }
+        let n_convs = r.usize()?;
+        self.conv_costs.clear();
+        for _ in 0..n_convs {
+            let shape = ConvShape::restore_state(r)?;
+            let run = AccelRun::restore_state(r)?;
+            self.conv_costs.insert(shape, run);
+        }
+        let n_matmuls = r.usize()?;
+        self.matmul_costs.clear();
+        for _ in 0..n_matmuls {
+            let m = r.usize()?;
+            let k = r.usize()?;
+            let n = r.usize()?;
+            let run = AccelRun::restore_state(r)?;
+            self.matmul_costs.insert((m, k, n), run);
+        }
+        self.program.restore_state(r)?;
+        self.tracer.restore_state(r)
     }
 
     /// Cost in cycles of moving `bytes` through the bridge MMIO registers

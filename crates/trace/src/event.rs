@@ -5,6 +5,28 @@
 //! renders env, synchronizer, bridge, and per-SoC-unit activity as
 //! parallel swimlanes sharing the simulated-time axis.
 
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Interns a string, returning a `'static` reference.
+///
+/// Event names and argument keys are `&'static str` so recording never
+/// allocates; restoring a snapshot has to reconstruct those references
+/// from serialized bytes. Interning leaks each *distinct* string once —
+/// trace vocabularies are small and fixed (a few dozen literals across
+/// the stack), so the leak is bounded and deduplicated across restores.
+pub fn intern(s: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED.lock().expect("intern table poisoned");
+    if let Some(&existing) = set.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
 /// A display track (one Perfetto swimlane).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Track {
@@ -55,6 +77,11 @@ impl Track {
             Track::SocAccel => 5,
             Track::SocMem => 6,
         }
+    }
+
+    /// The track with the given [`Track::tid`], if any (snapshot decode).
+    pub fn from_tid(tid: u32) -> Option<Track> {
+        Track::ALL.iter().copied().find(|t| t.tid() == tid)
     }
 }
 
@@ -109,4 +136,114 @@ pub struct TraceEvent {
     pub kind: EventKind,
     /// Key-value details shown in the Perfetto side panel.
     pub args: Vec<(&'static str, ArgValue)>,
+}
+
+const KIND_COMPLETE: u8 = 0;
+const KIND_BEGIN: u8 = 1;
+const KIND_END: u8 = 2;
+const KIND_INSTANT: u8 = 3;
+const KIND_COUNTER: u8 = 4;
+
+const ARG_U64: u8 = 0;
+const ARG_F64: u8 = 1;
+const ARG_STR: u8 = 2;
+
+impl TraceEvent {
+    /// Serializes the event (snapshot prefix-trace support).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        let TraceEvent {
+            track,
+            name,
+            ts_us,
+            kind,
+            args,
+        } = self;
+        w.u32(track.tid());
+        w.str(name);
+        w.f64(*ts_us);
+        match kind {
+            EventKind::Complete { dur_us } => {
+                w.u8(KIND_COMPLETE);
+                w.f64(*dur_us);
+            }
+            EventKind::Begin => w.u8(KIND_BEGIN),
+            EventKind::End => w.u8(KIND_END),
+            EventKind::Instant => w.u8(KIND_INSTANT),
+            EventKind::Counter { value } => {
+                w.u8(KIND_COUNTER);
+                w.f64(*value);
+            }
+        }
+        w.usize(args.len());
+        for (key, value) in args {
+            w.str(key);
+            match value {
+                ArgValue::U64(v) => {
+                    w.u8(ARG_U64);
+                    w.u64(*v);
+                }
+                ArgValue::F64(v) => {
+                    w.u8(ARG_F64);
+                    w.f64(*v);
+                }
+                ArgValue::Str(s) => {
+                    w.u8(ARG_STR);
+                    w.str(s);
+                }
+            }
+        }
+    }
+
+    /// Deserializes one event, interning names and string values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on malformed input (unknown track tid or
+    /// kind/arg tags included).
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<TraceEvent, SnapError> {
+        let tid = r.u32()?;
+        let track = Track::from_tid(tid).ok_or(SnapError::BadTag {
+            context: "trace event track",
+            tag: tid as u8,
+        })?;
+        let name = intern(&r.string()?);
+        let ts_us = r.f64()?;
+        let kind = match r.u8()? {
+            KIND_COMPLETE => EventKind::Complete { dur_us: r.f64()? },
+            KIND_BEGIN => EventKind::Begin,
+            KIND_END => EventKind::End,
+            KIND_INSTANT => EventKind::Instant,
+            KIND_COUNTER => EventKind::Counter { value: r.f64()? },
+            tag => {
+                return Err(SnapError::BadTag {
+                    context: "trace event kind",
+                    tag,
+                })
+            }
+        };
+        let count = r.usize()?;
+        let mut args = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            let key = intern(&r.string()?);
+            let value = match r.u8()? {
+                ARG_U64 => ArgValue::U64(r.u64()?),
+                ARG_F64 => ArgValue::F64(r.f64()?),
+                ARG_STR => ArgValue::Str(intern(&r.string()?)),
+                tag => {
+                    return Err(SnapError::BadTag {
+                        context: "trace arg value",
+                        tag,
+                    })
+                }
+            };
+            args.push((key, value));
+        }
+        Ok(TraceEvent {
+            track,
+            name,
+            ts_us,
+            kind,
+            args,
+        })
+    }
 }

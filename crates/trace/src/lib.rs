@@ -35,6 +35,6 @@ pub mod tracer;
 
 pub use chrome::TraceLog;
 pub use clock::TraceClock;
-pub use event::{ArgValue, EventKind, Track, TraceEvent};
+pub use event::{intern, ArgValue, EventKind, Track, TraceEvent};
 pub use metrics::{MetricRegistry, MetricSource, MetricValue};
 pub use tracer::Tracer;

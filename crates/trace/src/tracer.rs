@@ -10,6 +10,7 @@
 
 use crate::clock::TraceClock;
 use crate::event::{ArgValue, EventKind, Track, TraceEvent};
+use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Buffer plus clock for one enabled tracer.
 #[derive(Debug, Clone)]
@@ -71,6 +72,52 @@ impl Tracer {
         self.inner
             .as_mut()
             .map_or_else(Vec::new, |b| std::mem::take(&mut b.events))
+    }
+
+    /// The recorded events, without draining (snapshot capture).
+    pub fn events(&self) -> &[TraceEvent] {
+        self.inner.as_ref().map_or(&[], |b| b.events.as_slice())
+    }
+
+    /// Serializes the buffered events. A mission snapshot carries each
+    /// component's trace prefix so a resumed run's merged log — and its
+    /// determinism digest — matches a straight run event for event.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        // The clock and enabled/disabled mode are structural: both are
+        // re-derived from `MissionConfig` when the tracer is rebuilt.
+        let events = self.events();
+        w.usize(events.len());
+        for event in events {
+            event.save_state(w);
+        }
+    }
+
+    /// Restores buffered events into this tracer.
+    ///
+    /// The events are *read* unconditionally (keeping the reader aligned)
+    /// but only retained if the tracer is enabled, mirroring how a
+    /// disabled tracer drops events at record time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapError`] on malformed input.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let count = r.usize()?;
+        match &mut self.inner {
+            Some(buf) => {
+                buf.events.clear();
+                buf.events.reserve(count.min(1 << 20));
+                for _ in 0..count {
+                    buf.events.push(TraceEvent::restore_state(r)?);
+                }
+            }
+            None => {
+                for _ in 0..count {
+                    TraceEvent::restore_state(r)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     #[inline]

@@ -1,0 +1,92 @@
+//! Snapshot / fork / resume correctness, enforced at tier 1.
+//!
+//! The contract (DESIGN.md §4e): a mission snapshotted at **any** quantum
+//! boundary and resumed must produce a [`MissionDigest`] bit-identical to
+//! the straight run — trajectory, SoC counters, and trace ordering —
+//! under both [`SyncMode`] variants. Any divergence means a component
+//! carries hidden state its `save_state`/`restore_state` pair misses.
+
+use proptest::prelude::*;
+use rose::audit::MissionDigest;
+use rose::mission::{run_mission, MissionConfig};
+use rose::snapshot::Mission;
+use rose_bridge::sync::SyncMode;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+fn short(sync_mode: SyncMode) -> MissionConfig {
+    // 0.25 simulated seconds = 15 quantum boundaries: several inferences,
+    // live bridge queues, warm caches — yet cheap enough for 96 property
+    // cases in tier 1.
+    MissionConfig {
+        max_sim_seconds: 0.25,
+        // The smallest network keeps host-side inference cheap in debug
+        // builds; the snapshot surface it exercises is the same.
+        controller: rose::app::ControllerChoice::Static(rose_dnn::DnnModel::ResNet6),
+        trace: true,
+        sync_mode,
+        ..MissionConfig::default()
+    }
+}
+
+/// The straight-run digests, computed once per sync mode and shared
+/// across all property cases (the reference every resumed run must hit).
+fn straight_digest(sync_mode: SyncMode) -> MissionDigest {
+    static SEQ: OnceLock<MissionDigest> = OnceLock::new();
+    static PAR: OnceLock<MissionDigest> = OnceLock::new();
+    let cell = match sync_mode {
+        SyncMode::Sequential => &SEQ,
+        SyncMode::Parallel => &PAR,
+    };
+    *cell.get_or_init(|| MissionDigest::of(&run_mission(&short(sync_mode))))
+}
+
+/// Runs one fork-and-resume evaluation: snapshot at `boundary`, assert
+/// the snapshot re-serializes byte-identically after a round-trip, then
+/// run the branch out and return its digest. Pure in its inputs, so
+/// results are memoized — proptest draws (mode, boundary) pairs with
+/// replacement, and a debug-build mission costs ~0.5 s of cold-cache
+/// warm-up each.
+fn resumed_digest(sync_mode: SyncMode, boundary: u64) -> MissionDigest {
+    static CACHE: Mutex<BTreeMap<(bool, u64), MissionDigest>> = Mutex::new(BTreeMap::new());
+    let key = (sync_mode == SyncMode::Parallel, boundary);
+    if let Some(&hit) = CACHE.lock().unwrap().get(&key) {
+        return hit;
+    }
+    let config = short(sync_mode);
+    let mut mission = Mission::start(&config);
+    mission.run_syncs(boundary);
+    let snap = mission.snapshot();
+    let resumed = snap.resume().expect("snapshot must resume");
+    assert_eq!(
+        resumed.snapshot().bytes(),
+        snap.bytes(),
+        "round-trip not byte-identical at boundary {boundary}"
+    );
+    let digest = MissionDigest::of(&resumed.run_to_completion());
+    CACHE.lock().unwrap().insert(key, digest);
+    digest
+}
+
+proptest! {
+    /// Fork a real mission at a random quantum boundary, resume the
+    /// branch, run it out: the digest must equal the straight run's, and
+    /// the snapshot must re-serialize byte-identically after the
+    /// round-trip (serialize → deserialize → serialize).
+    #[test]
+    fn fork_at_any_boundary_is_bit_identical(
+        mode_sel in 0u64..2,
+        boundary in 0u64..16,
+    ) {
+        let sync_mode = if mode_sel == 0 {
+            SyncMode::Sequential
+        } else {
+            SyncMode::Parallel
+        };
+        let digest = resumed_digest(sync_mode, boundary);
+        prop_assert!(
+            digest == straight_digest(sync_mode),
+            "resume at boundary {boundary} under {sync_mode:?} diverged"
+        );
+    }
+}
