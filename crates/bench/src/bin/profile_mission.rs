@@ -4,9 +4,11 @@
 //!
 //! ```text
 //! profile_mission [--trace out.json] [--metrics out.csv] [--seconds F]
-//!                 [--check] [--determinism]
+//!                 [--check] [--determinism] [--profile]
 //!                 [--snapshot-at F] [--snapshot-out PATH]
 //!                 [--resume-from PATH]
+//!                 [--deadline-budget F] [--postmortem-out PATH]
+//!                 [--bench-json PATH] [--bench-gate BASELINE]
 //! ```
 //!
 //! `ROSE_TRACE` / `ROSE_METRICS` environment variables are fallbacks for
@@ -26,13 +28,34 @@
 //! booting a fresh mission; the checkpoint's embedded config (including
 //! its simulated-time wall) replaces the defaults, so `--seconds` is
 //! ignored on this path.
+//!
+//! Observability (DESIGN.md §4f):
+//!
+//! * `--profile` prints the host wall-clock self-attribution table
+//!   (env step / RTL grant / transport / snapshot codec / trace overhead).
+//! * `--deadline-budget F` arms the per-frame control deadline at `F`
+//!   simulated seconds; misses trigger flight-recorder postmortems.
+//! * `--postmortem-out PATH` writes any postmortems the flight recorder
+//!   dumped (a JSON array) — CI uploads this as a failure artifact.
+//! * `--bench-json PATH` writes the schema-versioned perf-trajectory
+//!   record (simulated-µs per wall-second, per-phase wall breakdown,
+//!   determinism digest).
+//! * `--bench-gate BASELINE` compares this run's throughput against a
+//!   committed bench JSON and exits nonzero on a >15% degradation.
 
 use rose::audit::{audit_determinism, MissionDigest};
 use rose::mission::{run_mission, MissionConfig, MissionReport};
 use rose::snapshot::{Mission, MissionSnapshot};
-use rose_trace::{json, Track};
+use rose_trace::{json, Phase, Stopwatch, Track};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Schema tag stamped into every `--bench-json` record.
+const BENCH_SCHEMA: &str = "rose-bench-v1";
+
+/// `--bench-gate` fails when throughput drops below this fraction of the
+/// baseline (a >15% degradation).
+const BENCH_GATE_RATIO: f64 = 0.85;
 
 struct Args {
     trace: Option<PathBuf>,
@@ -40,16 +63,23 @@ struct Args {
     seconds: f64,
     check: bool,
     determinism: bool,
+    profile: bool,
     snapshot_at: Option<f64>,
     snapshot_out: PathBuf,
     resume_from: Option<PathBuf>,
+    deadline_budget: Option<f64>,
+    postmortem_out: Option<PathBuf>,
+    bench_json: Option<PathBuf>,
+    bench_gate: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: profile_mission [--trace out.json] [--metrics out.csv] \
-         [--seconds F] [--check] [--determinism] \
-         [--snapshot-at F] [--snapshot-out PATH] [--resume-from PATH]"
+         [--seconds F] [--check] [--determinism] [--profile] \
+         [--snapshot-at F] [--snapshot-out PATH] [--resume-from PATH] \
+         [--deadline-budget F] [--postmortem-out PATH] \
+         [--bench-json PATH] [--bench-gate BASELINE]"
     );
     std::process::exit(2)
 }
@@ -61,9 +91,14 @@ fn parse_args() -> Args {
         seconds: 2.0,
         check: false,
         determinism: false,
+        profile: false,
         snapshot_at: None,
         snapshot_out: PathBuf::from("mission.rosesnap"),
         resume_from: None,
+        deadline_budget: None,
+        postmortem_out: None,
+        bench_json: None,
+        bench_gate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -78,6 +113,23 @@ fn parse_args() -> Args {
             }
             "--check" => args.check = true,
             "--determinism" => args.determinism = true,
+            "--profile" => args.profile = true,
+            "--deadline-budget" => {
+                args.deadline_budget = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--postmortem-out" => {
+                args.postmortem_out = Some(it.next().unwrap_or_else(|| usage()).into())
+            }
+            "--bench-json" => {
+                args.bench_json = Some(it.next().unwrap_or_else(|| usage()).into())
+            }
+            "--bench-gate" => {
+                args.bench_gate = Some(it.next().unwrap_or_else(|| usage()).into())
+            }
             "--snapshot-at" => {
                 args.snapshot_at = Some(
                     it.next()
@@ -173,29 +225,37 @@ fn check(report: &MissionReport) -> Result<(), String> {
 }
 
 /// The `--snapshot-at` path: run to the boundary, checkpoint, verify the
-/// checkpoint resumes bit-identically, continue to completion.
+/// checkpoint resumes bit-identically, continue to completion. Snapshot
+/// serialization and resume deserialization wall time is attributed to
+/// [`Phase::SnapshotCodec`] in the returned report's profile.
 fn run_with_snapshot(config: &MissionConfig, at: f64, out: &PathBuf) -> Result<MissionReport, String> {
     let boundary =
         ((at * config.frame_hz as f64 / config.frames_per_sync as f64).ceil() as u64)
             .min(config.max_syncs());
     let mut mission = Mission::start(config);
     mission.run_syncs(boundary);
+    let sw = Stopwatch::start();
     let snap = mission.snapshot();
+    let save_wall = sw.elapsed();
     std::fs::write(out, snap.bytes())
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!(
-        "wrote snapshot {} ({} bytes at sync {})",
+        "wrote snapshot {} ({} bytes at sync {}, encoded in {:.1} us)",
         out.display(),
         snap.bytes().len(),
         mission.syncs_executed(),
+        save_wall.as_secs_f64() * 1e6,
     );
-    let report = mission.run_to_completion();
+    let mut report = mission.run_to_completion();
+    report.profile.add(Phase::SnapshotCodec, save_wall);
 
     // The checkpoint is only useful if it continues bit-identically.
-    let resumed = snap
+    let sw = Stopwatch::start();
+    let resumed_mission = snap
         .resume()
-        .map_err(|e| format!("snapshot failed to resume: {e}"))?
-        .run_to_completion();
+        .map_err(|e| format!("snapshot failed to resume: {e}"))?;
+    report.profile.add(Phase::SnapshotCodec, sw.elapsed());
+    let resumed = resumed_mission.run_to_completion();
     if MissionDigest::of(&resumed) != MissionDigest::of(&report) {
         return Err("resumed run diverged from the straight run".into());
     }
@@ -203,11 +263,78 @@ fn run_with_snapshot(config: &MissionConfig, at: f64, out: &PathBuf) -> Result<M
     Ok(report)
 }
 
+/// Renders the `--bench-json` perf-trajectory record: throughput, the
+/// per-phase wall breakdown, and the run's determinism digest.
+fn bench_record(report: &MissionReport) -> String {
+    let wall_s = report.sync_stats.wall.as_secs_f64();
+    let sim_us_per_wall_s = if wall_s > 0.0 {
+        report.sim_time_s * 1e6 / wall_s
+    } else {
+        0.0
+    };
+    let mut phases = String::new();
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        if i > 0 {
+            phases.push(',');
+        }
+        phases.push_str(&format!(
+            "\"{}\":{{\"total_us\":{:.1},\"calls\":{}}}",
+            phase.name(),
+            report.profile.total(*phase).as_secs_f64() * 1e6,
+            report.profile.count(*phase),
+        ));
+    }
+    format!(
+        "{{\"schema\":\"{BENCH_SCHEMA}\",\"sim_s\":{:.6},\"wall_s\":{:.6},\
+         \"sim_us_per_wall_s\":{:.1},\"syncs\":{},\"digest\":\"{:#018x}\",\
+         \"phases\":{{{phases}}}}}\n",
+        report.sim_time_s,
+        wall_s,
+        sim_us_per_wall_s,
+        report.sync_stats.syncs,
+        MissionDigest::of(report).combined(),
+    )
+}
+
+/// The `--bench-gate` regression check: the current run's throughput must
+/// stay within [`BENCH_GATE_RATIO`] of the committed baseline's.
+fn bench_gate(current: &str, baseline_path: &PathBuf) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading baseline {}: {e}", baseline_path.display()))?;
+    let throughput = |doc: &str, what: &str| -> Result<f64, String> {
+        let parsed = json::parse(doc).map_err(|e| format!("{what}: bad JSON: {e}"))?;
+        match parsed.get("schema").and_then(|s| s.as_str()) {
+            Some(BENCH_SCHEMA) => {}
+            other => return Err(format!("{what}: schema {other:?}, want {BENCH_SCHEMA:?}")),
+        }
+        parsed
+            .get("sim_us_per_wall_s")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{what}: sim_us_per_wall_s missing"))
+    };
+    let base = throughput(&baseline, "baseline")?;
+    let cur = throughput(current, "current run")?;
+    if cur < base * BENCH_GATE_RATIO {
+        return Err(format!(
+            "throughput regression: {cur:.1} sim-us/wall-s vs baseline {base:.1} \
+             (floor {:.1}, -{:.1}%)",
+            base * BENCH_GATE_RATIO,
+            (1.0 - cur / base) * 100.0,
+        ));
+    }
+    println!(
+        "bench gate: {cur:.1} sim-us/wall-s vs baseline {base:.1} ({:+.1}%) — ok",
+        (cur / base - 1.0) * 100.0,
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let mut config = MissionConfig {
         max_sim_seconds: args.seconds,
         trace: true,
+        deadline_budget_s: args.deadline_budget.unwrap_or(0.0),
         ..MissionConfig::default()
     };
     let report = if let Some(path) = &args.resume_from {
@@ -268,6 +395,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {}", path.display());
+    }
+    if args.profile {
+        print!("{}", report.profile.render_table());
+    }
+    if !report.postmortems.is_empty() {
+        println!(
+            "flight recorder: {} postmortem(s) triggered",
+            report.postmortems.len(),
+        );
+    }
+    if let Some(path) = &args.postmortem_out {
+        if report.postmortems.is_empty() {
+            println!("no postmortems triggered; {} not written", path.display());
+        } else {
+            let doc = format!("[{}]\n", report.postmortems.join(","));
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+    }
+    if args.bench_json.is_some() || args.bench_gate.is_some() {
+        let record = bench_record(&report);
+        if let Some(path) = &args.bench_json {
+            if let Err(e) = std::fs::write(path, &record) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+        if let Some(baseline) = &args.bench_gate {
+            if let Err(e) = bench_gate(&record, baseline) {
+                eprintln!("bench gate FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if args.check {
         match check(&report) {

@@ -22,7 +22,10 @@ use crate::packet::Packet;
 use crate::transport::{Transport, TransportError};
 use rose_sim_core::cycles::{Cycle, Frame, SimTime, SyncRatio};
 use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
-use rose_trace::{ArgValue, MetricRegistry, MetricSource, Track, TraceEvent, Tracer};
+use rose_trace::{
+    ArgValue, LogHistogram, MetricRegistry, MetricSource, Phase, Profiler, Track, TraceEvent,
+    Tracer,
+};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -214,6 +217,32 @@ impl MetricSource for SyncStats {
     }
 }
 
+/// Always-on per-quantum latency and queue-depth distributions.
+///
+/// Unlike the cumulative [`SyncStats`] durations, these keep the full
+/// per-period shape (p50/p90/p99/p99.9 through [`LogHistogram`]). They
+/// are host-side telemetry: excluded from mission snapshots and never an
+/// input to the determinism digest, like the wall-time args on the
+/// `sync-quantum` trace spans (DESIGN.md §4f).
+#[derive(Debug, Clone, Default)]
+pub struct SyncTelemetry {
+    /// Host wall time of each full quantum (both sides), µs.
+    pub quantum_wall_us: LogHistogram,
+    /// Host wall time of each RTL cycle grant (the grant latency), µs.
+    pub grant_latency_us: LogHistogram,
+    /// Bridge inbound queue depth observed at each sync boundary (payloads
+    /// drained from the RTL side during the exchange phase).
+    pub queue_depth: LogHistogram,
+}
+
+impl MetricSource for SyncTelemetry {
+    fn record_metrics(&self, registry: &mut MetricRegistry) {
+        registry.record_histogram("sync.quantum_wall_us", &self.quantum_wall_us);
+        registry.record_histogram("sync.grant_latency_us", &self.grant_latency_us);
+        registry.record_histogram("bridge.queue_depth", &self.queue_depth);
+    }
+}
+
 /// The lockstep synchronizer.
 #[derive(Debug)]
 pub struct Synchronizer<E, R> {
@@ -223,6 +252,8 @@ pub struct Synchronizer<E, R> {
     time: SimTime,
     stats: SyncStats,
     tracer: Tracer,
+    telemetry: SyncTelemetry,
+    profiler: Profiler,
 }
 
 impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
@@ -235,6 +266,8 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
             time: SimTime::ZERO,
             stats: SyncStats::default(),
             tracer: Tracer::disabled(),
+            telemetry: SyncTelemetry::default(),
+            profiler: Profiler::new(),
         }
     }
 
@@ -269,6 +302,16 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
         &self.stats
     }
 
+    /// Always-on per-quantum latency/depth histograms.
+    pub fn telemetry(&self) -> &SyncTelemetry {
+        &self.telemetry
+    }
+
+    /// Host wall-time attribution accumulated so far.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
     /// The environment endpoint.
     pub fn env(&self) -> &E {
         &self.env
@@ -301,8 +344,9 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
     /// concrete types. The next grant is a pure function of the frame
     /// counter ([`Synchronizer::next_grant`] sizes grants cumulatively), so
     /// `time` alone pins the synchronizer's position in the quantum
-    /// schedule. Wall-clock durations are host measurements, not simulated
-    /// state: they are excluded and restart from zero on resume.
+    /// schedule. Wall-clock durations, the telemetry histograms, and the
+    /// profiler are host measurements, not simulated state: they are
+    /// excluded and restart from zero on resume (DESIGN.md §4f).
     pub fn save_state(&self, w: &mut SnapWriter) {
         let Synchronizer {
             env: _,
@@ -311,6 +355,8 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
             time,
             stats,
             tracer,
+            telemetry: _,
+            profiler: _,
         } = self;
         w.u64(time.cycle.raw());
         w.u64(time.frame.raw());
@@ -333,7 +379,8 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
         tracer.save_state(w);
     }
 
-    /// Restores the synchronizer's position. Wall-clock counters reset.
+    /// Restores the synchronizer's position. Wall-clock counters, the
+    /// telemetry histograms, and the profiler reset.
     ///
     /// # Errors
     ///
@@ -343,6 +390,8 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
             cycle: Cycle(r.u64()?),
             frame: Frame(r.u64()?),
         };
+        self.telemetry = SyncTelemetry::default();
+        self.profiler = Profiler::new();
         self.stats = SyncStats::default();
         self.stats.syncs = r.u64()?;
         self.stats.sim_cycles = r.u64()?;
@@ -362,7 +411,10 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
     /// indistinguishable from [`SyncMode::Sequential`].
     fn exchange(&mut self) {
         let boundary = self.time.cycle.raw();
-        for datum in self.rtl.drain_tx() {
+        let drained = self.rtl.drain_tx();
+        // rose-lint: allow(CAST001, usize -> u64 queue length widens on every supported target)
+        self.telemetry.queue_depth.record_u64(drained.len() as u64);
+        for datum in drained {
             self.stats.data_to_env += 1;
             self.trace_packet(boundary, "to-env", datum.len());
             for response in self.env.handle_data(&datum) {
@@ -458,6 +510,7 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
     pub fn step_sync_sequential(&mut self) {
         let started = Instant::now();
         self.exchange();
+        self.profiler.add(Phase::Transport, started.elapsed());
         let (cycles, frames) = self.next_grant();
 
         let quantum_started = Instant::now();
@@ -468,6 +521,10 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
         self.stats.rtl_wall += rtl_done - quantum_started;
         self.stats.env_wall += env_done - rtl_done;
         self.stats.quantum_wall += env_done - quantum_started;
+        self.profiler.add(Phase::RtlGrant, rtl_done - quantum_started);
+        self.profiler.add(Phase::EnvStep, env_done - rtl_done);
+        self.observe_quantum(rtl_done - quantum_started, env_done - quantum_started);
+        let trace_started = Instant::now();
         self.trace_quantum(
             cycles,
             frames,
@@ -475,8 +532,19 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
             rtl_done - quantum_started,
             env_done - quantum_started,
         );
+        self.profiler.add(Phase::TraceOverhead, trace_started.elapsed());
 
         self.finish_period(cycles, frames, started);
+    }
+
+    /// Feeds the period's wall measurements into the always-on histograms.
+    fn observe_quantum(&mut self, rtl_wall: Duration, quantum_wall: Duration) {
+        self.telemetry
+            .grant_latency_us
+            .record(rtl_wall.as_secs_f64() * 1e6);
+        self.telemetry
+            .quantum_wall_us
+            .record(quantum_wall.as_secs_f64() * 1e6);
     }
 }
 
@@ -500,6 +568,7 @@ impl<E: EnvSide, R: RtlSide + Send> Synchronizer<E, R> {
     fn step_sync_parallel(&mut self) {
         let started = Instant::now();
         self.exchange();
+        self.profiler.add(Phase::Transport, started.elapsed());
         let (cycles, frames) = self.next_grant();
 
         let quantum_started = Instant::now();
@@ -526,7 +595,12 @@ impl<E: EnvSide, R: RtlSide + Send> Synchronizer<E, R> {
         self.stats.env_wall += env_wall;
         self.stats.rtl_wall += rtl_wall;
         self.stats.quantum_wall += quantum_wall;
+        self.profiler.add(Phase::RtlGrant, rtl_wall);
+        self.profiler.add(Phase::EnvStep, env_wall);
+        self.observe_quantum(rtl_wall, quantum_wall);
+        let trace_started = Instant::now();
         self.trace_quantum(cycles, frames, env_wall, rtl_wall, quantum_wall);
+        self.profiler.add(Phase::TraceOverhead, trace_started.elapsed());
 
         self.finish_period(cycles, frames, started);
     }
@@ -1301,6 +1375,47 @@ mod tests {
             ),
             "got {result:?}"
         );
+    }
+
+    /// Telemetry histograms and the profiler accumulate one entry per
+    /// quantum, stay out of snapshots (restore resets them), and flatten
+    /// into the metric registry through `MetricSource`.
+    #[test]
+    fn telemetry_and_profiler_accumulate_and_stay_out_of_snapshots() {
+        let mut sync = Synchronizer::new(config(1), EchoEnv::default(), LoopRtl::default());
+        sync.rtl_mut().tx.push(vec![1, 2]);
+        sync.run_syncs(10);
+
+        let telemetry = sync.telemetry().clone();
+        assert_eq!(telemetry.quantum_wall_us.count(), 10);
+        assert_eq!(telemetry.grant_latency_us.count(), 10);
+        assert_eq!(telemetry.queue_depth.count(), 10);
+        assert!(telemetry.queue_depth.max().unwrap() >= 1.0, "seeded packet crossed");
+
+        let profiler = sync.profiler().clone();
+        for phase in [Phase::Transport, Phase::RtlGrant, Phase::EnvStep, Phase::TraceOverhead] {
+            assert_eq!(profiler.count(phase), 10, "phase {}", phase.name());
+        }
+
+        let mut registry = MetricRegistry::new();
+        registry.record(&telemetry);
+        assert_eq!(
+            registry.histogram("sync.quantum_wall_us").unwrap().count(),
+            10
+        );
+        assert_eq!(registry.histogram("bridge.queue_depth").unwrap().count(), 10);
+
+        // Host telemetry is excluded from snapshots: the byte stream is
+        // identical with or without it, and restore resets both.
+        let mut w = SnapWriter::new();
+        sync.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        sync.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(sync.telemetry().quantum_wall_us.is_empty());
+        assert!(sync.telemetry().queue_depth.is_empty());
+        assert!(sync.profiler().is_empty());
     }
 
     /// A transport that dies mid-outbox must keep the unsent payloads

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         println!("CAST001  truncating `as` casts in cycle arithmetic (widen via u128)");
         println!("SNAP001  `..` rest patterns in save_state/restore_state (snapshot hidden state)");
         println!("ANN001   malformed or reasonless rose-lint allow annotation");
+        println!("PROF001  direct Instant::now/SystemTime::now outside the profiler module");
         return ExitCode::SUCCESS;
     }
 

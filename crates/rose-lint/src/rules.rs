@@ -50,8 +50,12 @@ const TRUNCATING_TARGETS: &[&str] = &[
 
 /// All rule identifiers, in report order.
 pub const ALL_RULES: &[&str] = &[
-    "DET001", "DET002", "PANIC001", "TRACE001", "CAST001", "SNAP001", "ANN001",
+    "DET001", "DET002", "PANIC001", "TRACE001", "CAST001", "SNAP001", "ANN001", "PROF001",
 ];
+
+/// The one module allowed to read host clocks directly: everything else
+/// funnels wall time through its `Stopwatch`/`Profiler` API (PROF001).
+const PROFILER_MODULE: &str = "crates/trace/src/profiler.rs";
 
 fn path_in(rel_path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| {
@@ -70,6 +74,7 @@ pub fn applies_to(rule: &str, rel_path: &str, all_rules: bool) -> bool {
     }
     match rule {
         "DET001" | "TRACE001" | "ANN001" => true,
+        "PROF001" => rel_path != PROFILER_MODULE,
         "DET002" => path_in(rel_path, SIM_CRATES),
         "PANIC001" => path_in(rel_path, FAULT_PATH_PREFIXES),
         "CAST001" => CYCLE_ARITH_FILES.contains(&rel_path),
@@ -182,6 +187,9 @@ pub fn run_rules(rel_path: &str, lexed: &Lexed, all_rules: bool) -> Vec<Finding>
     if applies_to("SNAP001", rel_path, all_rules) {
         findings.extend(snap001(tokens, &live));
     }
+    if applies_to("PROF001", rel_path, all_rules) {
+        findings.extend(prof001(tokens, &live));
+    }
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
 }
@@ -217,6 +225,41 @@ fn det001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
                           nondeterministic across runs"
                     .into(),
             });
+        }
+    }
+    out
+}
+
+/// PROF001 — wall-clock reads funnel through the profiler. A direct
+/// `Instant::now()` / `SystemTime::now()` call anywhere but
+/// `crates/trace/src/profiler.rs` bypasses the one sanctioned wall-time
+/// API (`rose_trace::Stopwatch` / `Profiler::time`) whose readings are
+/// digest-excluded by construction (DESIGN.md §4f). Where DET001 guards
+/// *determinism* of simulated state, PROF001 guards *attribution*: ad-hoc
+/// timing never shows up in `--profile` and can leak into reports. The
+/// synchronizer's whitelisted wall-time stats (rose-lint.toml) are the
+/// deliberate exception.
+fn prof001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !live(i) {
+            continue;
+        }
+        if let Some(clock @ ("Instant" | "SystemTime")) = ident(&tokens[i]) {
+            if tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct("::"))
+                && tokens.get(i + 2).and_then(ident) == Some("now")
+            {
+                out.push(Finding {
+                    rule: "PROF001",
+                    line: tokens[i].line,
+                    message: format!(
+                        "direct {clock}::now() outside the profiler module; route \
+                         host timing through rose_trace::Stopwatch / Profiler::time \
+                         so it stays digest-excluded, or whitelist the file in \
+                         rose-lint.toml"
+                    ),
+                });
+            }
         }
     }
     out
@@ -524,6 +567,32 @@ mod tests {
         .is_empty());
     }
 
+    // PROF001 --------------------------------------------------------------
+
+    #[test]
+    fn prof001_flags_direct_clock_reads() {
+        assert_eq!(findings("PROF001", "let t = Instant::now();").len(), 1);
+        assert_eq!(
+            findings("PROF001", "let t = std::time::Instant::now();").len(),
+            1
+        );
+        assert_eq!(findings("PROF001", "let t = SystemTime::now();").len(), 1);
+    }
+
+    #[test]
+    fn prof001_ignores_types_annotations_and_tests() {
+        // Naming the type (fields, signatures, imports) is fine; only the
+        // clock *read* must go through the profiler.
+        assert!(findings("PROF001", "started: Instant,").is_empty());
+        assert!(findings("PROF001", "use std::time::SystemTime;").is_empty());
+        assert!(findings("PROF001", "fn at(&self) -> Instant { self.0 }").is_empty());
+        assert!(findings(
+            "PROF001",
+            "#[cfg(test)]\nmod tests {\n fn t() { let x = Instant::now(); }\n}"
+        )
+        .is_empty());
+    }
+
     // DET002 ---------------------------------------------------------------
 
     #[test]
@@ -653,6 +722,9 @@ mod tests {
         assert!(applies_to("SNAP001", "crates/socsim/src/soc.rs", false));
         assert!(applies_to("SNAP001", "crates/trace/src/tracer.rs", false));
         assert!(!applies_to("SNAP001", "crates/bench/src/lib.rs", false));
+        assert!(applies_to("PROF001", "crates/rose-bridge/src/sync.rs", false));
+        assert!(applies_to("PROF001", "crates/bench/src/lib.rs", false));
+        assert!(!applies_to("PROF001", "crates/trace/src/profiler.rs", false));
     }
 
     #[test]

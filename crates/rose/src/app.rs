@@ -151,6 +151,14 @@ pub struct AppMetrics {
     pub fast_inferences: u64,
     /// Deadline evaluations that selected the fast network.
     pub deadline_switches: u64,
+    /// Control-loop iterations whose request→command latency exceeded the
+    /// mission's deadline budget (0 when no budget is configured).
+    pub deadline_misses: u64,
+    /// Distribution of per-frame control-loop slack: deadline budget minus
+    /// observed latency, in cycles. A miss records into the underflow
+    /// bucket (slack clamps to 0). Host telemetry (DESIGN.md §4f): not
+    /// snapshotted, so a resumed branch observes only its own suffix.
+    pub slack_cycles: rose_trace::LogHistogram,
 }
 
 impl AppMetrics {
@@ -170,10 +178,12 @@ impl rose_trace::MetricSource for AppMetrics {
         registry.set_counter("app.commands", self.commands);
         registry.set_counter("app.fast_inferences", self.fast_inferences);
         registry.set_counter("app.deadline_switches", self.deadline_switches);
+        registry.set_counter("app.deadline_misses", self.deadline_misses);
         registry.gauge("app.mean_latency_cycles", self.mean_latency_cycles());
         for &lat in &self.latencies_cycles {
             registry.observe("app.latency_cycles", lat as f64);
         }
+        registry.record_histogram("app.slack_cycles", &self.slack_cycles);
     }
 }
 
@@ -185,6 +195,11 @@ impl AppMetrics {
             commands,
             fast_inferences,
             deadline_switches,
+            deadline_misses,
+            // Host telemetry (DESIGN.md §4f): a resumed branch re-observes
+            // only its own suffix; the shared prefix is recovered by
+            // `MetricRegistry::delta_since` when merging forks.
+            slack_cycles: _,
         } = self;
         w.u64(*inferences);
         w.usize(latencies_cycles.len());
@@ -194,6 +209,7 @@ impl AppMetrics {
         w.u64(*commands);
         w.u64(*fast_inferences);
         w.u64(*deadline_switches);
+        w.u64(*deadline_misses);
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
@@ -206,6 +222,8 @@ impl AppMetrics {
         self.commands = r.u64()?;
         self.fast_inferences = r.u64()?;
         self.deadline_switches = r.u64()?;
+        self.deadline_misses = r.u64()?;
+        self.slack_cycles = rose_trace::LogHistogram::new();
         Ok(())
     }
 }
@@ -267,6 +285,9 @@ pub struct TrailNavApp {
     use_argmax: bool,
     last_trail: TrailInfo,
     request_cycle: u64,
+    /// Control-loop deadline budget in SoC cycles (0 = no budget; never
+    /// counts a miss). Structural config, like `gains`.
+    deadline_budget_cycles: u64,
     metrics: Arc<Mutex<AppMetrics>>,
 }
 
@@ -333,6 +354,7 @@ impl TrailNavApp {
             use_argmax: false,
             last_trail: TrailInfo::default(),
             request_cycle: 0,
+            deadline_budget_cycles: 0,
             metrics: Arc::clone(&metrics),
         };
         (app, metrics)
@@ -341,6 +363,19 @@ impl TrailNavApp {
     /// Overrides the control gains.
     pub fn set_gains(&mut self, gains: ControlGains) {
         self.gains = gains;
+    }
+
+    /// Arms the per-frame deadline budget: each request→command latency is
+    /// compared against `budget_s` (converted to cycles at `clock_hz`), a
+    /// miss is counted, and the remaining slack is recorded into
+    /// [`AppMetrics::slack_cycles`]. A non-positive budget disables the
+    /// check.
+    pub fn set_deadline_budget(&mut self, budget_s: f64, clock_hz: f64) {
+        self.deadline_budget_cycles = if budget_s > 0.0 && clock_hz > 0.0 {
+            (budget_s * clock_hz) as u64
+        } else {
+            0
+        };
     }
 
     fn plan_for(&self, model: DnnModel) -> &[TargetOp] {
@@ -445,13 +480,22 @@ impl TargetProgram for TrailNavApp {
                 State::SendCommand => {
                     let command = self.command_from(self.last_trail);
                     {
+                        let latency = ctx.now().saturating_sub(self.request_cycle);
                         let mut m = self.metrics.lock();
                         m.inferences += 1;
                         m.commands += 1;
-                        m.latencies_cycles
-                            .push(ctx.now().saturating_sub(self.request_cycle));
+                        m.latencies_cycles.push(latency);
                         if self.use_argmax {
                             m.fast_inferences += 1;
+                        }
+                        if self.deadline_budget_cycles > 0 {
+                            let slack = self.deadline_budget_cycles.saturating_sub(latency);
+                            if latency > self.deadline_budget_cycles {
+                                m.deadline_misses += 1;
+                            }
+                            // A miss clamps to 0 slack → the histogram's
+                            // underflow bucket.
+                            m.slack_cycles.record_u64(slack);
                         }
                     }
                     self.state = match self.choice {
@@ -491,6 +535,7 @@ impl TargetProgram for TrailNavApp {
             use_argmax,
             last_trail,
             request_cycle,
+            deadline_budget_cycles: _,
             metrics,
         } = self;
         for (_, head) in heads {

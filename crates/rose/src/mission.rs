@@ -12,7 +12,7 @@ use crate::app::{AppMetrics, ControlGains, ControllerChoice, TrailNavApp};
 use crate::envside::CoSimEnv;
 use crate::rtlside::SocRtl;
 use parking_lot::Mutex;
-use rose_bridge::sync::{SyncConfig, SyncMode, SyncStats, Synchronizer};
+use rose_bridge::sync::{SyncConfig, SyncMode, SyncStats, SyncTelemetry, Synchronizer};
 use rose_dnn::DnnModel;
 use rose_envsim::uav::{TrajectoryPoint, UavSim, UavSimConfig};
 use rose_envsim::world::{World, WorldKind};
@@ -22,7 +22,10 @@ use rose_sim_core::csv::CsvLog;
 use rose_sim_core::rng::SimRng;
 use rose_socsim::soc::SocStats;
 use rose_socsim::{Soc, SocConfig};
-use rose_trace::{MetricRegistry, TraceClock, TraceLog, Tracer};
+use rose_trace::{
+    FlightRecorder, FlightSample, LogHistogram, MetricRegistry, Profiler, TraceClock, TraceLog,
+    Tracer,
+};
 use std::sync::Arc;
 
 /// Full configuration of one mission.
@@ -58,6 +61,12 @@ pub struct MissionConfig {
     /// every component then pays only a branch per would-be event. The
     /// collected trace is returned in [`MissionReport::trace`].
     pub trace: bool,
+    /// Per-frame control-loop deadline budget in simulated seconds.
+    /// When positive, every image-request → command latency above the
+    /// budget counts a deadline miss (triggering a flight-recorder
+    /// postmortem), and the remaining slack feeds
+    /// [`AppMetrics::slack_cycles`]. 0 disables the check.
+    pub deadline_budget_s: f64,
 }
 
 impl Default for MissionConfig {
@@ -75,6 +84,7 @@ impl Default for MissionConfig {
             max_sim_seconds: 90.0,
             gains: ControlGains::default(),
             trace: false,
+            deadline_budget_s: 0.0,
         }
     }
 }
@@ -103,6 +113,7 @@ impl MissionConfig {
             max_sim_seconds,
             gains,
             trace,
+            deadline_budget_s,
         } = self;
         soc.save_state(w);
         controller.save_state(w);
@@ -119,6 +130,7 @@ impl MissionConfig {
         w.f64(*max_sim_seconds);
         gains.save_state(w);
         w.bool(*trace);
+        w.f64(*deadline_budget_s);
     }
 
     /// Restores a configuration from a snapshot stream.
@@ -160,6 +172,7 @@ impl MissionConfig {
             max_sim_seconds: r.f64()?,
             gains: ControlGains::restore_state(r)?,
             trace: r.bool()?,
+            deadline_budget_s: r.f64()?,
         })
     }
 
@@ -205,6 +218,22 @@ pub struct MissionReport {
     /// The merged cycle-accurate event trace, present when
     /// [`MissionConfig::trace`] was set.
     pub trace: Option<TraceLog>,
+    /// Host wall-clock self-profile of the run (env step / RTL grant /
+    /// transport / snapshot codec / trace overhead). Telemetry: never an
+    /// input to the determinism digest (DESIGN.md §4f).
+    pub profile: Profiler,
+    /// Synchronizer host-telemetry histograms (quantum wall time, grant
+    /// latency, bridge queue depth).
+    pub sync_telemetry: SyncTelemetry,
+    /// Distribution of per-issue kernel / accelerator-tile cycle costs.
+    pub kernel_cycles: LogHistogram,
+    /// Postmortem JSON documents the flight recorder dumped during the
+    /// run (one per trigger: collision, deadline miss, transport fault).
+    pub postmortems: Vec<String>,
+    /// Flight-recorder ring occupancy at mission end.
+    pub flight_occupancy: usize,
+    /// Flight-recorder ring capacity.
+    pub flight_capacity: usize,
 }
 
 impl MissionReport {
@@ -235,23 +264,79 @@ impl MissionReport {
         let mut registry = MetricRegistry::new();
         registry.record(&self.soc_stats);
         registry.record(&self.sync_stats);
+        registry.record(&self.sync_telemetry);
         registry.record(&self.energy);
         registry.record(&self.app);
+        registry.record(&self.profile);
+        registry.record_histogram("soc.kernel_cycles", &self.kernel_cycles);
         registry.set_counter("mission.collisions", self.collisions as u64);
+        registry.set_counter("mission.postmortems", self.postmortems.len() as u64);
         registry.gauge("mission.completed", self.completed as u8 as f64);
         registry.gauge("mission.sim_time_s", self.sim_time_s);
         registry.gauge("mission.avg_velocity", self.avg_velocity);
         registry.gauge("mission.mean_latency_ms", self.mean_latency_ms);
         registry.gauge("mission.activity_factor", self.activity_factor);
+        registry.gauge("flight.ring_occupancy", self.flight_occupancy as f64);
+        registry.gauge("flight.ring_capacity", self.flight_capacity as f64);
         registry
     }
 }
 
-/// Builds and runs one mission to completion (goal or timeout).
+/// Builds and runs one mission to completion (goal or timeout), with the
+/// flight recorder sampling every synchronization boundary.
 pub fn run_mission(config: &MissionConfig) -> MissionReport {
     let (mut sync, metrics) = build_mission(config);
-    sync.run_until(config.max_syncs(), |env, _| env.sim().mission_complete());
-    finish_report(config, sync, &metrics)
+    let mut flight = FlightRecorder::default();
+    let postmortems = drive_mission(config, &mut sync, &metrics, &mut flight);
+    let mut report = finish_report(config, sync, &metrics);
+    report.postmortems = postmortems;
+    report.flight_occupancy = flight.occupancy();
+    report.flight_capacity = flight.capacity();
+    report
+}
+
+/// Steps the co-simulation one synchronization period at a time until the
+/// mission completes, the program halts, or the simulated-time wall is
+/// reached, feeding `flight` one [`FlightSample`] per quantum. Returns the
+/// postmortem JSON documents the recorder dumped.
+///
+/// The per-quantum loop is host bookkeeping only — the simulated system
+/// sees exactly the same grant sequence as one
+/// [`Synchronizer::run_until`] call, so trajectories and the determinism
+/// digest are unchanged.
+pub fn drive_mission(
+    config: &MissionConfig,
+    sync: &mut Synchronizer<CoSimEnv, SocRtl>,
+    metrics: &Mutex<AppMetrics>,
+    flight: &mut FlightRecorder,
+) -> Vec<String> {
+    let max_syncs = config.max_syncs();
+    let mut postmortems = Vec::new();
+    while sync.stats().syncs < max_syncs {
+        let before = *sync.stats();
+        if sync.run_until(1, |env, _| env.sim().mission_complete()) == 0 {
+            break; // mission complete or program halted
+        }
+        let after = *sync.stats();
+        let sample = FlightSample {
+            sync: after.syncs,
+            sim_time_s: sync.env().sim().time(),
+            collisions: sync.env().sim().collision_count() as u64,
+            deadline_misses: metrics.lock().deadline_misses,
+            queue_depth: after.data_to_env - before.data_to_env,
+            env_wall_us: (after.env_wall - before.env_wall).as_secs_f64() * 1e6,
+            rtl_wall_us: (after.rtl_wall - before.rtl_wall).as_secs_f64() * 1e6,
+            fault: false,
+        };
+        // Attribution reads the SoC tracer's buffer non-destructively;
+        // with tracing off this is an empty slice and the recorder costs
+        // a few counter compares per quantum.
+        let recent = sync.rtl().soc().tracer().events();
+        if let Some(pm) = flight.observe(sample, recent) {
+            postmortems.push(pm);
+        }
+    }
+    postmortems
 }
 
 /// Constructs the full co-simulation for `config` without running it
@@ -284,6 +369,7 @@ pub fn mission_parts(
         &rng,
     );
     app.set_gains(config.gains);
+    app.set_deadline_budget(config.deadline_budget_s, config.soc.clock.hz() as f64);
     let (env, rtl, sync_config) = mission_parts_with_program(config, Box::new(app));
     (env, rtl, sync_config, metrics)
 }
@@ -347,6 +433,7 @@ pub fn run_mission_multitenant(
         &rng,
     );
     app.set_gains(config.gains);
+    app.set_deadline_budget(config.deadline_budget_s, config.soc.clock.hz() as f64);
     let (telemetry, loops) = TelemetryTask::new(telemetry_block_bytes);
     let shared = TimeShared::new(Box::new(app), Box::new(telemetry), sharing);
     let (env, rtl, sync_config) = mission_parts_with_program(config, Box::new(shared));
@@ -367,11 +454,14 @@ pub fn finish_report(
     metrics: &Mutex<AppMetrics>,
 ) -> MissionReport {
     let sync_stats = *sync.stats();
+    let sync_telemetry = sync.telemetry().clone();
+    let profile = sync.profiler().clone();
     let sync_events = sync.take_trace_events();
     let (env, rtl) = sync.into_parts();
     let mut sim = env.into_sim();
     let mut soc = rtl.into_soc();
     let soc_stats = soc.stats();
+    let kernel_cycles = soc.kernel_cycles_hist().clone();
     // Merge each component's owned trace buffer into one chronological log.
     let trace = config.trace.then(|| {
         let mut log = TraceLog::new();
@@ -407,6 +497,12 @@ pub fn finish_report(
         sync_stats,
         app: m.clone(),
         trace,
+        profile,
+        sync_telemetry,
+        kernel_cycles,
+        postmortems: Vec::new(),
+        flight_occupancy: 0,
+        flight_capacity: 0,
     }
 }
 

@@ -168,8 +168,10 @@ pub struct MissionSnapshot {
 impl MissionSnapshot {
     /// Leading section magic: `"ROSE"` in big-endian byte order.
     pub const MAGIC: u32 = 0x524f_5345;
-    /// Newest format version this build reads and writes.
-    pub const VERSION: u16 = 1;
+    /// Newest format version this build reads and writes. Version 2 added
+    /// [`MissionConfig::deadline_budget_s`] and the app's cumulative
+    /// deadline-miss counter to the embedded config/metrics codecs.
+    pub const VERSION: u16 = 2;
 
     /// The raw snapshot bytes (e.g. for writing to a checkpoint file).
     pub fn bytes(&self) -> &[u8] {
@@ -333,6 +335,71 @@ mod tests {
         assert_eq!(digests[0], MissionDigest::of(&run_mission(&config)));
         // ...and the perturbed branch flies a different trajectory.
         assert_ne!(digests[0].trajectory, digests[1].trajectory);
+    }
+
+    #[test]
+    fn forked_branch_registries_combine_without_double_counting() {
+        let config = short(SyncMode::Sequential);
+        let straight = run_mission(&config).metric_registry();
+
+        let mut mission = Mission::start(&config);
+        mission.run_syncs(20);
+        let branches = mission.fork(2).expect("fork");
+        let prefix = mission.finish().metric_registry();
+        let prefix_syncs = prefix.counter_value("sync.syncs").expect("sync.syncs");
+        assert_eq!(prefix_syncs, 20);
+        let prefix_cycles = prefix.counter_value("soc.cycles").expect("soc.cycles");
+
+        let mut regs = Vec::new();
+        for (i, mut branch) in branches.into_iter().enumerate() {
+            if i == 1 {
+                branch.perturb_yaw(0.2);
+            }
+            regs.push(branch.run_to_completion().metric_registry());
+        }
+        let suffix_syncs: u64 = regs
+            .iter()
+            .map(|r| r.counter_value("sync.syncs").unwrap() - prefix_syncs)
+            .sum();
+        let suffix_cycles: u64 = regs
+            .iter()
+            .map(|r| r.counter_value("soc.cycles").unwrap() - prefix_cycles)
+            .sum();
+
+        // Persisted counters resume from the prefix totals, so merging the
+        // branch registries naively counts the shared warm-start prefix
+        // once per branch...
+        let mut naive = prefix.clone();
+        for reg in &regs {
+            naive.merge(reg);
+        }
+        assert_eq!(
+            naive.counter_value("sync.syncs"),
+            Some(3 * prefix_syncs + suffix_syncs)
+        );
+
+        // ...while prefix + Σ delta_since(prefix) counts it exactly once.
+        let mut merged = prefix.clone();
+        for reg in &regs {
+            merged.merge(&reg.delta_since(&prefix));
+        }
+        assert_eq!(
+            merged.counter_value("sync.syncs"),
+            Some(prefix_syncs + suffix_syncs)
+        );
+        assert_eq!(
+            merged.counter_value("soc.cycles"),
+            Some(prefix_cycles + suffix_cycles)
+        );
+
+        // Host telemetry (DESIGN.md §4f) is never persisted: a resumed
+        // branch re-observes only its own suffix, so it never needed the
+        // delta in the first place — the unperturbed branch's kernel-cycle
+        // histogram plus the prefix's reassembles the straight run's.
+        let count = |reg: &rose_trace::MetricRegistry| {
+            reg.histogram("soc.kernel_cycles").expect("kernel hist").count()
+        };
+        assert_eq!(count(&prefix) + count(&regs[0]), count(&straight));
     }
 
     #[test]

@@ -103,6 +103,36 @@ impl Summary {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// The summary of the observations recorded *after* `prefix` was
+    /// captured, assuming `prefix` is an earlier snapshot of this same
+    /// stream — the inverse of [`merge`](Summary::merge). Used to strip a
+    /// shared warm-start prefix from forked-mission branches before
+    /// re-merging them, so the prefix is not double-counted.
+    ///
+    /// `min`/`max` cannot be recovered by subtraction; the delta keeps
+    /// this summary's observed range (a conservative superset).
+    pub fn unmerge(&self, prefix: &Summary) -> Summary {
+        if prefix.count == 0 {
+            return self.clone();
+        }
+        let count = self.count.saturating_sub(prefix.count);
+        if count == 0 {
+            return Summary::new();
+        }
+        let total = self.count as f64;
+        let mean = (self.mean * total - prefix.mean * prefix.count as f64) / count as f64;
+        let delta = prefix.mean - mean;
+        let m2 =
+            self.m2 - prefix.m2 - delta * delta * prefix.count as f64 * count as f64 / total;
+        Summary {
+            count,
+            mean,
+            m2: m2.max(0.0),
+            min: self.min,
+            max: self.max,
+        }
+    }
 }
 
 impl fmt::Display for Summary {
@@ -299,6 +329,32 @@ mod tests {
         assert_eq!(a.count(), all.count());
         assert!((a.mean() - all.mean()).abs() < 1e-9);
         assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_unmerge_inverts_merge() {
+        let data: Vec<f64> = (0..80).map(|i| (i as f64).cos() * 5.0 + 7.0).collect();
+        let mut prefix = Summary::new();
+        for &x in &data[..30] {
+            prefix.record(x);
+        }
+        let mut full = prefix.clone();
+        let mut suffix = Summary::new();
+        for &x in &data[30..] {
+            full.record(x);
+            suffix.record(x);
+        }
+        let delta = full.unmerge(&prefix);
+        assert_eq!(delta.count(), suffix.count());
+        assert!((delta.mean() - suffix.mean()).abs() < 1e-9);
+        assert!((delta.variance() - suffix.variance()).abs() < 1e-9);
+        // min/max stay the conservative full-stream range.
+        assert_eq!(delta.min(), full.min());
+        assert_eq!(delta.max(), full.max());
+        // Unmerging an identical snapshot leaves nothing.
+        assert_eq!(full.unmerge(&full.clone()).count(), 0);
+        // Unmerging an empty prefix is the identity.
+        assert_eq!(full.unmerge(&Summary::new()), full);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::kernel::Kernel;
 use crate::mem::{CacheStats, MemSystem};
 use crate::program::{ProgContext, TargetOp, TargetProgram};
 use rose_sim_core::snap::{SnapError, SnapReader, SnapWriter};
-use rose_trace::{ArgValue, MetricRegistry, MetricSource, Track, TraceEvent, Tracer};
+use rose_trace::{ArgValue, LogHistogram, MetricRegistry, MetricSource, Track, TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
 /// Aggregate SoC execution statistics.
@@ -176,6 +176,9 @@ pub struct Soc {
     conv_costs: BTreeMap<ConvShape, AccelRun>,
     matmul_costs: BTreeMap<(usize, usize, usize), AccelRun>,
     tracer: Tracer,
+    /// Per-issue kernel/tile cycle-cost distribution (host telemetry,
+    /// DESIGN.md §4f: excluded from snapshots and the determinism digest).
+    kernel_cycles_hist: LogHistogram,
 }
 
 impl std::fmt::Debug for Soc {
@@ -210,6 +213,7 @@ impl Soc {
             conv_costs: BTreeMap::new(),
             matmul_costs: BTreeMap::new(),
             tracer: Tracer::disabled(),
+            kernel_cycles_hist: LogHistogram::new(),
             config,
         }
     }
@@ -248,6 +252,11 @@ impl Soc {
     /// Host-side access to the bridge (for the synchronizer driver).
     pub fn bridge_mut(&mut self) -> &mut RoseBridgeHw {
         &mut self.bridge
+    }
+
+    /// Distribution of per-issue kernel and accelerator-tile cycle costs.
+    pub fn kernel_cycles_hist(&self) -> &LogHistogram {
+        &self.kernel_cycles_hist
     }
 
     /// Execution statistics snapshot.
@@ -290,6 +299,9 @@ impl Soc {
             conv_costs,
             matmul_costs,
             tracer,
+            // Host telemetry, not architectural state: a resumed run
+            // re-observes only its own suffix (§4f).
+            kernel_cycles_hist: _,
         } = self;
         w.section(Soc::SNAP_SECTION);
         w.u64(*now);
@@ -423,6 +435,7 @@ impl Soc {
             self.matmul_costs.insert((m, k, n), run);
         }
         self.program.restore_state(r)?;
+        self.kernel_cycles_hist = LogHistogram::new();
         self.tracer.restore_state(r)
     }
 
@@ -605,6 +618,7 @@ impl Soc {
             match op {
                 TargetOp::CpuKernel(k) => {
                     let cost = self.cpu_cost(k);
+                    self.kernel_cycles_hist.record_u64(cost);
                     if self.tracer.is_enabled() {
                         self.tracer.complete_cycles(
                             Track::SocCpu,
@@ -623,6 +637,7 @@ impl Soc {
                 TargetOp::AccelConv(shape) => {
                     let run = self.conv_cost(shape);
                     let cost = run.cycles.max(1);
+                    self.kernel_cycles_hist.record_u64(cost);
                     self.trace_accel(run, cost);
                     self.pending = Some(Pending {
                         remaining: cost,
@@ -633,6 +648,7 @@ impl Soc {
                 TargetOp::AccelMatmul { m, k, n } => {
                     let run = self.matmul_cost(m, k, n);
                     let cost = run.cycles.max(1);
+                    self.kernel_cycles_hist.record_u64(cost);
                     self.trace_accel(run, cost);
                     self.pending = Some(Pending {
                         remaining: cost,

@@ -201,7 +201,7 @@ impl TraceLog {
 
 /// Writes an f64 as a JSON number (non-finite values clamp to 0 — JSON has
 /// no NaN/Infinity and a poisoned timestamp must not corrupt the file).
-fn write_f64(out: &mut String, v: f64) {
+pub(crate) fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -210,7 +210,7 @@ fn write_f64(out: &mut String, v: f64) {
 }
 
 /// Appends `s` with JSON string escaping.
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -366,6 +366,43 @@ mod tests {
         let mut log = TraceLog::new();
         log.extend(t.take_events());
         assert_eq!(log.unpaired_spans().len(), 2);
+    }
+
+    /// Span names and string args containing quotes, backslashes, and
+    /// control characters must survive export → parse byte-for-byte (the
+    /// exporter JSON-escapes them; the parser unescapes them back).
+    #[test]
+    fn hostile_names_and_args_round_trip_through_the_parser() {
+        use crate::event::intern;
+        let hostile_name = intern("kernel:\"ev\\il\"\n\t\u{1}<&>");
+        let hostile_arg = intern("payload \\ \"quoted\" \r\n \u{7f} λ");
+        let hostile_key = intern("key\"with\\escapes");
+        let mut log = TraceLog::new();
+        log.extend(vec![TraceEvent {
+            track: Track::SocCpu,
+            name: hostile_name,
+            ts_us: 10.0,
+            kind: EventKind::Complete { dur_us: 5.0 },
+            args: vec![(hostile_key, ArgValue::Str(hostile_arg))],
+        }]);
+        let text = log.to_chrome_json();
+        let parsed = json::parse(&text).expect("hostile names must still be valid JSON");
+        let event = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents")
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("the complete event");
+        assert_eq!(event.get("name").and_then(|n| n.as_str()), Some(hostile_name));
+        assert_eq!(
+            event
+                .get("args")
+                .and_then(|a| a.get(hostile_key))
+                .and_then(|v| v.as_str()),
+            Some(hostile_arg),
+            "arg key and string value must round-trip exactly"
+        );
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! The flight recorder: a bounded postmortem ring buffer.
+//!
+//! An aircraft flight recorder is cheap, always on, and only read after
+//! something went wrong. This is the co-simulation's equivalent: a
+//! fixed-capacity ring of per-quantum [`FlightSample`]s (metric deltas —
+//! collisions, deadline misses, queue depth, wall-time split) plus, when
+//! tracing is enabled, a tail of recent trace events. On a trigger — a
+//! collision, a deadline miss, a latched transport fault, or a panic —
+//! it dumps a **self-contained postmortem JSON** with the ring, the
+//! recent events, and a deadline-miss **attribution** that walks the
+//! recorded spans to name the dominant time sink (compute vs
+//! `stall:rx-empty` vs bridge traffic).
+//!
+//! The recorder is telemetry: fixed memory, never part of a mission
+//! snapshot, never an input to the determinism digest (DESIGN.md §4f).
+
+use crate::chrome::{escape_into, write_f64};
+use crate::event::{EventKind, TraceEvent};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Schema tag stamped into every postmortem dump.
+pub const POSTMORTEM_SCHEMA: &str = "rose-postmortem-v1";
+
+/// Default ring capacity (samples retained before the trigger).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// How many recent trace events are retained for attribution.
+const EVENT_TAIL: usize = 64;
+
+/// One per-quantum observation: absolute counters the recorder diffs to
+/// detect rising edges, plus the quantum's wall-time split.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlightSample {
+    /// Synchronization periods executed so far.
+    pub sync: u64,
+    /// Simulated mission time, seconds.
+    pub sim_time_s: f64,
+    /// Cumulative collision count.
+    pub collisions: u64,
+    /// Cumulative control-deadline misses.
+    pub deadline_misses: u64,
+    /// Bridge receive-queue depth at the boundary.
+    pub queue_depth: u64,
+    /// Host wall time of the environment half of this quantum, µs.
+    pub env_wall_us: f64,
+    /// Host wall time of the RTL half of this quantum, µs.
+    pub rtl_wall_us: f64,
+    /// True once a transport fault has latched.
+    pub fault: bool,
+}
+
+/// A per-trigger span-time attribution: where simulated time went in the
+/// recent event window, by cost category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// The category with the largest share, or `"unknown"` when the
+    /// window holds no attributable spans (e.g. tracing disabled).
+    pub dominant: &'static str,
+    /// Simulated-µs totals per category.
+    pub breakdown_us: BTreeMap<&'static str, f64>,
+}
+
+/// Buckets a span name into an attribution category, or `None` for
+/// enclosing spans that would double-count their contents.
+fn categorize(name: &str) -> Option<&'static str> {
+    if name.starts_with("kernel:") || name == "gemmini-tile" {
+        Some("compute")
+    } else if name == "stall:rx-empty" {
+        Some("stall:rx-empty")
+    } else if name.starts_with("mmio-") || name == "bridge-packet" {
+        Some("bridge")
+    } else if name == "sleep" {
+        Some("sleep")
+    } else {
+        // Enclosing spans (sync-quantum / sync-grant / soc-grant) would
+        // double-count their contents; unknown names stay unattributed.
+        None
+    }
+}
+
+/// Attributes the `Complete`-span time in `events` across categories.
+pub fn attribute(events: &[TraceEvent]) -> Attribution {
+    let mut breakdown_us: BTreeMap<&'static str, f64> = BTreeMap::new();
+    for event in events {
+        if let EventKind::Complete { dur_us } = event.kind {
+            if let Some(cat) = categorize(event.name) {
+                *breakdown_us.entry(cat).or_insert(0.0) += dur_us;
+            }
+        }
+    }
+    let dominant = breakdown_us
+        .iter()
+        // BTreeMap order makes the max deterministic under ties.
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(cat, _)| *cat)
+        .unwrap_or("unknown");
+    Attribution {
+        dominant,
+        breakdown_us,
+    }
+}
+
+/// The bounded always-on recorder; see the [module docs](self).
+///
+/// If the owning thread panics while a dump path is configured (see
+/// [`set_panic_dump_path`](FlightRecorder::set_panic_dump_path)), the
+/// recorder's `Drop` writes a `"panic"`-reason postmortem there, so even
+/// an aborting run leaves evidence behind.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: VecDeque<FlightSample>,
+    capacity: usize,
+    last: Option<FlightSample>,
+    recent_events: Vec<TraceEvent>,
+    panic_dump_path: Option<PathBuf>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` samples (at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            last: None,
+            recent_events: Vec::new(),
+            panic_dump_path: None,
+        }
+    }
+
+    /// Arms the panic dump: on a panic unwinding through the recorder's
+    /// owner, a `"panic"` postmortem is written to `path`.
+    pub fn set_panic_dump_path(&mut self, path: impl Into<PathBuf>) {
+        self.panic_dump_path = Some(path.into());
+    }
+
+    /// Samples currently retained.
+    pub fn occupancy(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Maximum samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &FlightSample> {
+        self.ring.iter()
+    }
+
+    /// Records one quantum's sample plus the recent trace-event tail, and
+    /// returns a postmortem JSON if the sample crossed a trigger: a
+    /// collision-count rise, a deadline-miss rise, or a transport fault
+    /// latching. Multiple simultaneous triggers produce one postmortem
+    /// whose `detail` lists them all.
+    pub fn observe(&mut self, sample: FlightSample, recent: &[TraceEvent]) -> Option<String> {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(sample);
+        let tail_start = recent.len().saturating_sub(EVENT_TAIL);
+        self.recent_events.clear();
+        self.recent_events.extend_from_slice(&recent[tail_start..]);
+
+        let prev = self.last.replace(sample).unwrap_or_default();
+        let mut triggers: Vec<&'static str> = Vec::new();
+        if sample.collisions > prev.collisions {
+            triggers.push("collision");
+        }
+        if sample.deadline_misses > prev.deadline_misses {
+            triggers.push("deadline-miss");
+        }
+        if sample.fault && !prev.fault {
+            triggers.push("transport-fault");
+        }
+        if triggers.is_empty() {
+            return None;
+        }
+        let detail = triggers.join(", ");
+        Some(self.postmortem(triggers[0], &detail))
+    }
+
+    /// Renders a self-contained postmortem JSON from the current ring and
+    /// recent-event tail. `reason` is the primary trigger; `detail` is
+    /// free-form context (all simultaneous triggers, a fault message, …).
+    pub fn postmortem(&self, reason: &str, detail: &str) -> String {
+        let at = self.ring.back().copied().unwrap_or_default();
+        let attribution = attribute(&self.recent_events);
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":\"");
+        escape_into(&mut out, POSTMORTEM_SCHEMA);
+        out.push_str("\",\"reason\":\"");
+        escape_into(&mut out, reason);
+        out.push_str("\",\"detail\":\"");
+        escape_into(&mut out, detail);
+        let _ = write!(out, "\",\"sync\":{},\"sim_time_s\":", at.sync);
+        write_f64(&mut out, at.sim_time_s);
+        out.push_str(",\"attribution\":{\"dominant\":\"");
+        escape_into(&mut out, attribution.dominant);
+        out.push_str("\",\"breakdown_us\":{");
+        for (i, (cat, us)) in attribution.breakdown_us.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, cat);
+            out.push_str("\":");
+            write_f64(&mut out, *us);
+        }
+        out.push_str("}},\"ring\":[");
+        for (i, s) in self.ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"sync\":{},\"collisions\":{},\"deadline_misses\":{},\"queue_depth\":{},\"fault\":{},",
+                s.sync, s.collisions, s.deadline_misses, s.queue_depth, s.fault
+            );
+            out.push_str("\"sim_time_s\":");
+            write_f64(&mut out, s.sim_time_s);
+            out.push_str(",\"env_wall_us\":");
+            write_f64(&mut out, s.env_wall_us);
+            out.push_str(",\"rtl_wall_us\":");
+            write_f64(&mut out, s.rtl_wall_us);
+            out.push('}');
+        }
+        out.push_str("],\"recent_events\":[");
+        for (i, e) in self.recent_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"track\":\"");
+            escape_into(&mut out, e.track.name());
+            out.push_str("\",\"name\":\"");
+            escape_into(&mut out, e.name);
+            out.push_str("\",\"ts_us\":");
+            write_f64(&mut out, e.ts_us);
+            match e.kind {
+                EventKind::Complete { dur_us } => {
+                    out.push_str(",\"kind\":\"complete\",\"dur_us\":");
+                    write_f64(&mut out, dur_us);
+                }
+                EventKind::Begin => out.push_str(",\"kind\":\"begin\""),
+                EventKind::End => out.push_str(",\"kind\":\"end\""),
+                EventKind::Instant => out.push_str(",\"kind\":\"instant\""),
+                EventKind::Counter { value } => {
+                    out.push_str(",\"kind\":\"counter\",\"value\":");
+                    write_f64(&mut out, value);
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        if let Some(path) = self.panic_dump_path.take() {
+            // Best effort: a failed dump must not double-panic.
+            let dump = self.postmortem("panic", "panic unwound through the mission runner");
+            let _ = std::fs::write(path, dump);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+    use crate::json;
+
+    fn sample(sync: u64) -> FlightSample {
+        FlightSample {
+            sync,
+            sim_time_s: sync as f64 / 60.0,
+            ..FlightSample::default()
+        }
+    }
+
+    fn span(name: &'static str, dur_us: f64) -> TraceEvent {
+        TraceEvent {
+            track: Track::SocCpu,
+            name,
+            ts_us: 0.0,
+            kind: EventKind::Complete { dur_us },
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_oldest_first() {
+        let mut fr = FlightRecorder::new(4);
+        for i in 0..10 {
+            assert_eq!(fr.observe(sample(i), &[]), None);
+        }
+        assert_eq!(fr.occupancy(), 4);
+        assert_eq!(fr.capacity(), 4);
+        let syncs: Vec<u64> = fr.samples().map(|s| s.sync).collect();
+        assert_eq!(syncs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn rising_edges_trigger_once() {
+        let mut fr = FlightRecorder::new(8);
+        let mut s = sample(0);
+        assert!(fr.observe(s, &[]).is_none());
+        s.sync = 1;
+        s.collisions = 1;
+        let pm = fr.observe(s, &[]).expect("collision must trigger");
+        let parsed = json::parse(&pm).expect("postmortem is valid JSON");
+        assert_eq!(
+            parsed.get("reason").and_then(|r| r.as_str()),
+            Some("collision")
+        );
+        // Same count again: no re-trigger.
+        s.sync = 2;
+        assert!(fr.observe(s, &[]).is_none());
+    }
+
+    #[test]
+    fn simultaneous_triggers_merge_into_detail() {
+        let mut fr = FlightRecorder::new(8);
+        fr.observe(sample(0), &[]);
+        let s = FlightSample {
+            sync: 1,
+            collisions: 1,
+            deadline_misses: 2,
+            fault: true,
+            ..sample(1)
+        };
+        let pm = fr.observe(s, &[]).expect("triggers");
+        let parsed = json::parse(&pm).unwrap();
+        assert_eq!(
+            parsed.get("detail").and_then(|d| d.as_str()),
+            Some("collision, deadline-miss, transport-fault")
+        );
+        // fault already latched: no new trigger on the next sample.
+        let s2 = FlightSample { sync: 2, ..s };
+        assert!(fr.observe(s2, &[]).is_none());
+    }
+
+    #[test]
+    fn attribution_names_the_dominant_category() {
+        let events = vec![
+            span("kernel:matmul", 100.0),
+            span("stall:rx-empty", 900.0),
+            span("mmio-send", 50.0),
+            span("sync-quantum", 5000.0), // enclosing: excluded
+        ];
+        let a = attribute(&events);
+        assert_eq!(a.dominant, "stall:rx-empty");
+        assert_eq!(a.breakdown_us["compute"], 100.0);
+        assert_eq!(a.breakdown_us["bridge"], 50.0);
+        assert!(!a.breakdown_us.contains_key("sync-quantum"));
+    }
+
+    #[test]
+    fn attribution_without_spans_is_unknown() {
+        assert_eq!(attribute(&[]).dominant, "unknown");
+    }
+
+    #[test]
+    fn postmortem_embeds_ring_events_and_attribution() {
+        let mut fr = FlightRecorder::new(8);
+        let events = vec![span("kernel:conv", 300.0), span("sleep", 10.0)];
+        fr.observe(sample(0), &events);
+        let mut s = sample(1);
+        s.deadline_misses = 1;
+        let pm = fr.observe(s, &events).expect("miss triggers");
+        let parsed = json::parse(&pm).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some(POSTMORTEM_SCHEMA)
+        );
+        assert_eq!(
+            parsed.get("reason").and_then(|v| v.as_str()),
+            Some("deadline-miss")
+        );
+        let ring = parsed.get("ring").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(ring.len(), 2);
+        let recent = parsed
+            .get("recent_events")
+            .and_then(|r| r.as_array())
+            .unwrap();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(
+            parsed
+                .get("attribution")
+                .and_then(|a| a.get("dominant"))
+                .and_then(|d| d.as_str()),
+            Some("compute")
+        );
+    }
+
+    #[test]
+    fn event_tail_is_capped() {
+        let mut fr = FlightRecorder::new(2);
+        let events: Vec<TraceEvent> = (0..200).map(|_| span("kernel:fill", 1.0)).collect();
+        let mut s = sample(1);
+        s.collisions = 1;
+        let pm = fr.observe(s, &events).expect("trigger");
+        let parsed = json::parse(&pm).unwrap();
+        let recent = parsed
+            .get("recent_events")
+            .and_then(|r| r.as_array())
+            .unwrap();
+        assert_eq!(recent.len(), EVENT_TAIL);
+    }
+
+    #[test]
+    fn panic_dump_writes_a_postmortem() {
+        let path = std::env::temp_dir().join("rose-flight-panic-test.json");
+        let _ = std::fs::remove_file(&path);
+        let path_clone = path.clone();
+        let result = std::panic::catch_unwind(move || {
+            let mut fr = FlightRecorder::new(4);
+            fr.set_panic_dump_path(&path_clone);
+            fr.observe(sample(0), &[]);
+            panic!("injected");
+        });
+        assert!(result.is_err());
+        let dump = std::fs::read_to_string(&path).expect("panic postmortem written");
+        let parsed = json::parse(&dump).expect("valid JSON");
+        assert_eq!(parsed.get("reason").and_then(|r| r.as_str()), Some("panic"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -13,10 +13,17 @@
 //!   trace-event JSON, loadable in Perfetto (`ui.perfetto.dev`) or
 //!   `chrome://tracing`, with env / sync / bridge / SoC-unit activity on
 //!   parallel tracks.
-//! - [`metrics::MetricRegistry`] — a named counter/gauge/summary registry
-//!   unifying the scattered per-subsystem stats structs behind one
+//! - [`metrics::MetricRegistry`] — a named counter/gauge/summary/histogram
+//!   registry unifying the scattered per-subsystem stats structs behind one
 //!   interface with CSV snapshot export; subsystems opt in by implementing
 //!   [`metrics::MetricSource`].
+//! - [`hist::LogHistogram`] — a fixed-memory log-bucketed histogram with
+//!   p50/p90/p99/p99.9 estimation, mergeable across forked branches.
+//! - [`profiler::Profiler`] — host wall-clock self-attribution per
+//!   co-simulation phase, the one sanctioned wall-time API (PROF001).
+//! - [`flight::FlightRecorder`] — an always-on bounded postmortem ring
+//!   that dumps self-contained JSON on collision / deadline miss /
+//!   transport fault / panic, with span-walk attribution.
 //! - [`json`] — a dependency-free JSON parser used to validate emitted
 //!   traces in tests and CI (the workspace builds offline; serde here is a
 //!   no-op stub).
@@ -29,12 +36,18 @@
 pub mod chrome;
 pub mod clock;
 pub mod event;
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profiler;
 pub mod tracer;
 
 pub use chrome::TraceLog;
 pub use clock::TraceClock;
 pub use event::{intern, ArgValue, EventKind, Track, TraceEvent};
+pub use flight::{FlightRecorder, FlightSample};
+pub use hist::LogHistogram;
 pub use metrics::{MetricRegistry, MetricSource, MetricValue};
+pub use profiler::{Phase, Profiler, Stopwatch};
 pub use tracer::Tracer;
