@@ -112,7 +112,13 @@ impl SoftmaxHead {
     /// The argmax class.
     pub fn classify(&self, features: &[f32]) -> usize {
         let p = self.predict(features);
-        (0..3).max_by(|&a, &b| p[a].total_cmp(&p[b])).expect("3 classes")
+        let mut best = 0;
+        for class in 1..3 {
+            if p[class].total_cmp(&p[best]).is_gt() {
+                best = class;
+            }
+        }
+        best
     }
 
     /// One SGD step on a mini-batch; returns the mean cross-entropy loss.

@@ -370,7 +370,7 @@ impl World {
         self.walls
             .iter()
             .filter_map(|w| w.raycast(origin, dx, dy))
-            .min_by(|a, b| a.partial_cmp(b).expect("NaN ray distance"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Ground-truth trail query for a pose (position + heading).

@@ -48,6 +48,52 @@ fn save_state(&self, w: &mut SnapWriter) {
     w.u64(*ticks);
 }
 
+// DET003: seeded violation — the entry point looks clean; the wall clock
+// hides two calls down. The diagnostic must print the chain
+// `Soc::step → seeded_tick_helper → seeded_wall_clock`.
+impl Soc {
+    pub fn step(&mut self) -> u64 {
+        seeded_tick_helper()
+    }
+}
+
+fn seeded_tick_helper() -> u64 {
+    seeded_wall_clock()
+}
+
+// PANIC002: seeded violation — this helper looks harmless here, but
+// `seeded_bridge.rs` (linted under a virtual crates/rose-bridge/src path)
+// calls it from the fault path, where its unwrap can deadlock the
+// lockstep peer.
+fn seeded_decode_helper(frame: &[u8]) -> u8 {
+    *frame.first().unwrap()
+}
+
+// SNAP002: seeded violation — `dropped_frames` appears in neither codec
+// body, so snapshots silently lose it on every fork/resume.
+struct SeededRecorder {
+    ticks: u64,
+    dropped_frames: u64,
+}
+
+impl SeededRecorder {
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.ticks);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.ticks = r.u64()?;
+        Ok(())
+    }
+}
+
+// ANN002: seeded violation — the unordered map this allow once excused is
+// long gone, so the annotation suppresses nothing and must be deleted.
+// rose-lint: allow(DET002, historical: the frontier map used to be a HashMap)
+fn seeded_stale_allow(frontier: &BTreeMap<u64, u64>) -> bool {
+    frontier.is_empty()
+}
+
 // ---------------------------------------------------------------------
 // Negative half: everything below here must lint clean.
 // ---------------------------------------------------------------------

@@ -1,0 +1,13 @@
+//! Companion fixture for `rose-lint --self-test`, linted under the
+//! virtual path `crates/rose-bridge/src/seeded_bridge.rs` so the
+//! interprocedural fault-path rule (PANIC002) has a genuine root file.
+//!
+//! This file itself stays panic-free — that is the point: PANIC001 sees
+//! nothing here, yet the call into `seeded_decode_helper` (defined in
+//! `seeded.rs`, outside the fault path) reaches an `unwrap()`. The
+//! PANIC002 finding lands at that helper's unwrap, with the call chain
+//! `seeded_transport_recv → seeded_decode_helper` in the message.
+
+pub fn seeded_transport_recv(frame: &[u8]) -> u8 {
+    seeded_decode_helper(frame)
+}

@@ -1,0 +1,651 @@
+//! Tier W's lightweight AST: items, not expressions.
+//!
+//! The workspace rules (DET003, PANIC002, SNAP002) need to know *which
+//! functions exist, what they call, and what structs declare* — nothing
+//! more. This module parses the [`crate::lexer`] token stream into exactly
+//! that: function definitions with their enclosing `impl`/`trait` type and
+//! the call expressions inside their bodies, struct definitions with named
+//! fields, and enum names. There is deliberately no expression grammar, no
+//! type resolution, and no borrow anything: the parser is a single linear
+//! pass that tracks brace depth and an impl-context stack.
+//!
+//! Like the lexer, the parser is forgiving by construction — a construct it
+//! does not understand is skipped token-by-token. A linter must never fail
+//! the build because *it* could not parse something `rustc` accepted.
+//!
+//! Known, documented approximations (see DESIGN.md §4g):
+//!
+//! - Nested `fn` items inside a function body are not separate nodes; their
+//!   calls are attributed to the enclosing function (an over-approximation,
+//!   safe for reachability).
+//! - Enum variants are not parsed; enums contribute only their name to the
+//!   symbol table.
+//! - Tuple and unit structs have no named fields and are skipped by
+//!   SNAP002 (their codecs cannot silently miss a field by name).
+
+use crate::lexer::{Tok, Token};
+
+/// One call expression found inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Path segments, e.g. `["Soc", "run_granted"]` for
+    /// `Soc::run_granted(...)`, or `["helper"]` for a bare `helper(...)`.
+    /// Method calls carry a single segment: the method name.
+    pub segments: Vec<String>,
+    /// True for `.name(...)` receiver calls (resolved by name alone).
+    pub method: bool,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+impl Call {
+    /// The final path segment — the function name being invoked.
+    pub fn name(&self) -> &str {
+        self.segments.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// One function definition (free fn, inherent/trait `impl` method, or
+/// trait default method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing `impl`/`trait` type name, if any.
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// True when the definition sits inside `#[cfg(test)]` / `#[test]`
+    /// code (excluded from the call graph — the contract governs
+    /// simulation logic, not tests).
+    pub is_test: bool,
+    /// Token-index range of the body including both braces, or `None` for
+    /// bodiless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// Every call expression in the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+impl FnDef {
+    /// `Type::name` for methods, `name` for free functions.
+    pub fn qname(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One named field of a struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// The field's name.
+    pub name: String,
+    /// 1-based line of the field declaration.
+    pub line: usize,
+}
+
+/// One struct definition with named fields (tuple/unit structs are
+/// recorded with an empty field list).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// The struct's name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Declared named fields, in source order.
+    pub fields: Vec<Field>,
+    /// True when declared inside test-only code.
+    pub is_test: bool,
+}
+
+/// The parsed items of one file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Every function definition.
+    pub fns: Vec<FnDef>,
+    /// Every struct definition.
+    pub structs: Vec<StructDef>,
+    /// Names of enum definitions (variants are not parsed).
+    pub enums: Vec<String>,
+}
+
+/// Parses the items of one lexed file. `mask[i]` marks token `i` as
+/// test-only (see [`crate::rules::test_mask`]).
+pub fn parse(tokens: &[Token], mask: &[bool]) -> Ast {
+    Parser {
+        tokens,
+        mask,
+        ast: Ast::default(),
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    mask: &'a [bool],
+    ast: Ast,
+}
+
+fn ident(tok: Option<&Token>) -> Option<&str> {
+    match tok.map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(tok: Option<&Token>, p: &str) -> bool {
+    matches!(tok.map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p)
+}
+
+impl<'a> Parser<'a> {
+    fn run(mut self) -> Ast {
+        // Stack of `(brace_depth_of_body, type_name)` impl/trait contexts.
+        let mut ctx: Vec<(i32, String)> = Vec::new();
+        let mut depth = 0i32;
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            match &self.tokens[i].tok {
+                Tok::Punct("{") => {
+                    depth += 1;
+                    i += 1;
+                }
+                Tok::Punct("}") => {
+                    depth -= 1;
+                    while ctx.last().is_some_and(|(d, _)| *d > depth) {
+                        ctx.pop();
+                    }
+                    i += 1;
+                }
+                Tok::Ident(kw) if kw == "impl" || kw == "trait" => {
+                    if let Some((ty, body_open)) = self.parse_impl_header(i) {
+                        depth += 1; // the consumed `{`
+                        ctx.push((depth, ty));
+                        i = body_open + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Tok::Ident(kw) if kw == "fn" => {
+                    let self_ty = ctx.last().map(|(_, ty)| ty.clone());
+                    i = self.parse_fn(i, self_ty);
+                }
+                Tok::Ident(kw) if kw == "struct" => {
+                    i = self.parse_struct(i);
+                }
+                Tok::Ident(kw) if kw == "enum" => {
+                    if let Some(name) = ident(self.tokens.get(i + 1)) {
+                        self.ast.enums.push(name.to_string());
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        self.ast
+    }
+
+    /// Parses `impl<G> Trait for path::Type<G> where ... {` (or a `trait
+    /// Name {` header) starting at the `impl`/`trait` keyword. Returns the
+    /// implemented type's final path segment and the index of the body
+    /// `{`, or `None` if no body brace is found (e.g. `impl Foo;` never —
+    /// but the parser must survive anything).
+    fn parse_impl_header(&self, start: usize) -> Option<(String, usize)> {
+        let mut j = start + 1;
+        let mut last_seg: Option<String> = None;
+        while j < self.tokens.len() {
+            match &self.tokens[j].tok {
+                Tok::Punct("<") => j = self.skip_angle(j),
+                Tok::Punct("{") => return last_seg.map(|ty| (ty, j)),
+                // A `;` before any `{` means this was not a block item.
+                Tok::Punct(";") => return None,
+                Tok::Ident(s) if s == "for" => {
+                    // `impl Trait for Type`: the left side was the trait.
+                    last_seg = None;
+                    j += 1;
+                }
+                Tok::Ident(s) if s == "where" => {
+                    // Skip the clause up to the body brace, tracking
+                    // parens/brackets so `where F: Fn(u8)` survives.
+                    let mut d = 0i32;
+                    while j < self.tokens.len() {
+                        match &self.tokens[j].tok {
+                            Tok::Punct("(") | Tok::Punct("[") => d += 1,
+                            Tok::Punct(")") | Tok::Punct("]") => d -= 1,
+                            Tok::Punct("{") if d == 0 => {
+                                return last_seg.map(|ty| (ty, j));
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    return None;
+                }
+                Tok::Ident(s) => {
+                    last_seg = Some(s.clone());
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        None
+    }
+
+    /// Skips a balanced `<...>` group starting at the `<`; returns the
+    /// index just past the matching `>`. `->` arrows inside (e.g.
+    /// `Box<dyn Fn() -> u8>`) do not close the group.
+    fn skip_angle(&self, start: usize) -> usize {
+        let mut d = 0i32;
+        let mut j = start;
+        while j < self.tokens.len() {
+            match &self.tokens[j].tok {
+                Tok::Punct("<") => d += 1,
+                Tok::Punct(">") if !is_punct(self.tokens.get(j.wrapping_sub(1)), "-") => {
+                    d -= 1;
+                    if d == 0 {
+                        return j + 1;
+                    }
+                }
+                // Angle groups never span these; bail out so a stray `<`
+                // (comparison operator) cannot swallow the file.
+                Tok::Punct(";") | Tok::Punct("{") => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Parses a `fn` item starting at the `fn` keyword; returns the index
+    /// to continue scanning from (just past the body, or past the `;`).
+    fn parse_fn(&mut self, start: usize, self_ty: Option<String>) -> usize {
+        let line = self.tokens[start].line;
+        let Some(name) = ident(self.tokens.get(start + 1)) else {
+            return start + 1;
+        };
+        let name = name.to_string();
+        // Scan the signature for the body `{` or a bodiless `;`, tracking
+        // paren/bracket depth so defaults like `[u8; 4]` don't end it.
+        let mut j = start + 1;
+        let mut d = 0i32;
+        let body_open = loop {
+            match self.tokens.get(j).map(|t| &t.tok) {
+                None => break None,
+                Some(Tok::Punct("(")) | Some(Tok::Punct("[")) => d += 1,
+                Some(Tok::Punct(")")) | Some(Tok::Punct("]")) => d -= 1,
+                Some(Tok::Punct(";")) if d == 0 => break None,
+                Some(Tok::Punct("{")) if d == 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(body_open) = body_open else {
+            self.ast.fns.push(FnDef {
+                name,
+                self_ty,
+                line,
+                is_test: self.mask.get(start).copied().unwrap_or(false),
+                body: None,
+                calls: Vec::new(),
+            });
+            return j + 1;
+        };
+        let body_end = self.skip_braces(body_open);
+        let calls = self.extract_calls(body_open, body_end);
+        self.ast.fns.push(FnDef {
+            name,
+            self_ty,
+            line,
+            is_test: self.mask.get(start).copied().unwrap_or(false),
+            body: Some((body_open, body_end)),
+            calls,
+        });
+        body_end
+    }
+
+    /// Returns the index just past the brace-balanced region opened at
+    /// `open` (which must point at a `{`).
+    fn skip_braces(&self, open: usize) -> usize {
+        let mut d = 0i32;
+        let mut j = open;
+        while j < self.tokens.len() {
+            match &self.tokens[j].tok {
+                Tok::Punct("{") => d += 1,
+                Tok::Punct("}") => {
+                    d -= 1;
+                    if d == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Extracts every call expression in the token range `[start, end)`.
+    fn extract_calls(&self, start: usize, end: usize) -> Vec<Call> {
+        let mut calls = Vec::new();
+        let mut k = start;
+        while k < end {
+            let Some(name) = ident(self.tokens.get(k)) else {
+                k += 1;
+                continue;
+            };
+            // Skip keyword lookalikes and nested definitions: `fn name(`,
+            // `if cond (`, `while let (`, `match x {`, `for x in iter(`.
+            if matches!(
+                name,
+                "fn" | "if" | "while" | "match" | "for" | "loop" | "return" | "in" | "let" | "move"
+            ) || ident(self.tokens.get(k.wrapping_sub(1))) == Some("fn")
+            {
+                k += 1;
+                continue;
+            }
+            // `name(` — plain call; `name::<T>(` — turbofish call.
+            let after = if is_punct(self.tokens.get(k + 1), "(") {
+                Some(k + 1)
+            } else if is_punct(self.tokens.get(k + 1), "::")
+                && is_punct(self.tokens.get(k + 2), "<")
+            {
+                let past = self.skip_angle(k + 2);
+                is_punct(self.tokens.get(past), "(").then_some(past)
+            } else {
+                None
+            };
+            let Some(_) = after else {
+                k += 1;
+                continue;
+            };
+            let line = self.tokens[k].line;
+            if is_punct(self.tokens.get(k.wrapping_sub(1)), ".") {
+                calls.push(Call {
+                    segments: vec![name.to_string()],
+                    method: true,
+                    line,
+                });
+            } else {
+                // Walk the `a::b::name` path backwards.
+                let mut segments = vec![name.to_string()];
+                let mut j = k;
+                while j >= 2
+                    && is_punct(self.tokens.get(j - 1), "::")
+                    && ident(self.tokens.get(j - 2)).is_some()
+                {
+                    segments.push(ident(self.tokens.get(j - 2)).unwrap().to_string());
+                    j -= 2;
+                }
+                segments.reverse();
+                calls.push(Call {
+                    segments,
+                    method: false,
+                    line,
+                });
+            }
+            k += 1;
+        }
+        calls
+    }
+
+    /// Parses a `struct` item starting at the keyword; returns the index
+    /// to continue from.
+    fn parse_struct(&mut self, start: usize) -> usize {
+        let line = self.tokens[start].line;
+        let is_test = self.mask.get(start).copied().unwrap_or(false);
+        let Some(name) = ident(self.tokens.get(start + 1)) else {
+            return start + 1;
+        };
+        let name = name.to_string();
+        let mut j = start + 2;
+        if is_punct(self.tokens.get(j), "<") {
+            j = self.skip_angle(j);
+        }
+        // `where` clause before the body.
+        while ident(self.tokens.get(j)) == Some("where") {
+            while j < self.tokens.len() && !is_punct(self.tokens.get(j), "{") {
+                j += 1;
+            }
+        }
+        if is_punct(self.tokens.get(j), ";") {
+            // Unit struct.
+            self.ast.structs.push(StructDef {
+                name,
+                line,
+                fields: Vec::new(),
+                is_test,
+            });
+            return j + 1;
+        }
+        if is_punct(self.tokens.get(j), "(") {
+            // Tuple struct: skip the parens (and trailing `;`).
+            let mut d = 0i32;
+            while j < self.tokens.len() {
+                match &self.tokens[j].tok {
+                    Tok::Punct("(") => d += 1,
+                    Tok::Punct(")") => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            self.ast.structs.push(StructDef {
+                name,
+                line,
+                fields: Vec::new(),
+                is_test,
+            });
+            return j + 1;
+        }
+        if !is_punct(self.tokens.get(j), "{") {
+            return j;
+        }
+        let body_end = self.skip_braces(j);
+        let fields = self.parse_fields(j + 1, body_end.saturating_sub(1));
+        self.ast.structs.push(StructDef {
+            name,
+            line,
+            fields,
+            is_test,
+        });
+        body_end
+    }
+
+    /// Parses named fields in the token range `[start, end)` (the inside
+    /// of a struct body): `#[attr]* pub(..)? name: Type,`.
+    fn parse_fields(&self, start: usize, end: usize) -> Vec<Field> {
+        let mut fields = Vec::new();
+        let mut k = start;
+        while k < end {
+            // Skip attributes.
+            while is_punct(self.tokens.get(k), "#") && is_punct(self.tokens.get(k + 1), "[") {
+                let mut d = 0i32;
+                while k < end {
+                    match &self.tokens[k].tok {
+                        Tok::Punct("[") => d += 1,
+                        Tok::Punct("]") => {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            // Skip visibility.
+            if ident(self.tokens.get(k)) == Some("pub") {
+                k += 1;
+                if is_punct(self.tokens.get(k), "(") {
+                    let mut d = 0i32;
+                    while k < end {
+                        match &self.tokens[k].tok {
+                            Tok::Punct("(") => d += 1,
+                            Tok::Punct(")") => {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            let (Some(name), true) = (ident(self.tokens.get(k)), is_punct(self.tokens.get(k + 1), ":"))
+            else {
+                // Not a field start; resynchronize at the next comma.
+                while k < end && !is_punct(self.tokens.get(k), ",") {
+                    k += 1;
+                }
+                k += 1;
+                continue;
+            };
+            fields.push(Field {
+                name: name.to_string(),
+                line: self.tokens[k].line,
+            });
+            // Skip the type up to the field-separating comma, tracking
+            // every bracket kind (incl. `<>` with the `->` guard).
+            k += 2;
+            let mut d = 0i32;
+            while k < end {
+                match &self.tokens[k].tok {
+                    Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => d += 1,
+                    Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("}") => d -= 1,
+                    Tok::Punct("<") => d += 1,
+                    Tok::Punct(">") if !is_punct(self.tokens.get(k.wrapping_sub(1)), "-") => {
+                        d -= 1;
+                    }
+                    Tok::Punct(",") if d == 0 => {
+                        k += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+
+    fn parse_src(src: &str) -> Ast {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        parse(&lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn free_fn_with_calls() {
+        let ast = parse_src("fn run() {\n helper();\n other::deep(x);\n y.method(z);\n}");
+        assert_eq!(ast.fns.len(), 1);
+        let f = &ast.fns[0];
+        assert_eq!(f.name, "run");
+        assert_eq!(f.self_ty, None);
+        let calls: Vec<(String, bool)> = f
+            .calls
+            .iter()
+            .map(|c| (c.segments.join("::"), c.method))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                ("helper".into(), false),
+                ("other::deep".into(), false),
+                ("method".into(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_methods_carry_self_ty() {
+        let ast = parse_src(
+            "impl Soc {\n pub fn step(&mut self) { self.tick(); }\n}\n\
+             impl fmt::Debug for Soc {\n fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write(f) }\n}",
+        );
+        let names: Vec<String> = ast.fns.iter().map(|f| f.qname()).collect();
+        assert_eq!(names, vec!["Soc::step", "Soc::fmt"]);
+    }
+
+    #[test]
+    fn generic_impl_and_where_clause() {
+        let ast = parse_src(
+            "impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> where E: Send {\n fn run_syncs(&mut self) {}\n}",
+        );
+        assert_eq!(ast.fns[0].qname(), "Synchronizer::run_syncs");
+    }
+
+    #[test]
+    fn trait_default_methods_and_decls() {
+        let ast = parse_src(
+            "trait RtlSide {\n fn grant(&mut self, c: u64);\n fn halted(&self) -> bool { false }\n}",
+        );
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[0].qname(), "RtlSide::grant");
+        assert!(ast.fns[0].body.is_none());
+        assert_eq!(ast.fns[1].qname(), "RtlSide::halted");
+        assert!(ast.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn struct_fields_with_attrs_vis_and_generics() {
+        let ast = parse_src(
+            "pub struct Recorder<T> {\n #[doc(hidden)]\n pub ticks: u64,\n pub(crate) buf: Vec<Box<dyn Fn(u8) -> u8>>,\n last: Option<(u32, T)>,\n}",
+        );
+        assert_eq!(ast.structs.len(), 1);
+        let fields: Vec<&str> = ast.structs[0].fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fields, vec!["ticks", "buf", "last"]);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_fields() {
+        let ast = parse_src("struct Stopwatch(Instant);\nstruct Marker;\n");
+        assert_eq!(ast.structs.len(), 2);
+        assert!(ast.structs.iter().all(|s| s.fields.is_empty()));
+    }
+
+    #[test]
+    fn test_code_is_marked() {
+        let ast = parse_src(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn helper() {}\n #[test]\n fn check() {}\n}",
+        );
+        let flags: Vec<(String, bool)> = ast.fns.iter().map(|f| (f.name.clone(), f.is_test)).collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("live".into(), false),
+                ("helper".into(), true),
+                ("check".into(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn turbofish_calls_resolve_to_final_segment() {
+        let ast = parse_src("fn f() {\n let v = items.collect::<Vec<u8>>();\n parse::<u32>(s);\n}");
+        let calls: Vec<&str> = ast.fns[0].calls.iter().map(|c| c.name()).collect();
+        assert_eq!(calls, vec!["collect", "parse"]);
+    }
+
+    #[test]
+    fn enums_contribute_their_name() {
+        let ast = parse_src("enum SyncMode { Sequential, Parallel }");
+        assert_eq!(ast.enums, vec!["SyncMode"]);
+        assert!(ast.fns.is_empty());
+    }
+}

@@ -1,27 +1,59 @@
-//! The `rose-lint.toml` allowlist.
+//! The `rose-lint.toml` configuration.
 //!
-//! A deliberately tiny TOML subset — one `[allow]` table whose keys are
-//! rule identifiers and whose values are arrays of workspace-relative path
-//! prefixes:
+//! A deliberately tiny TOML subset with two kinds of section:
 //!
 //! ```toml
 //! [allow]
 //! DET001 = ["crates/rose-bridge/src/sync.rs", "crates/bench/src"]
+//!
+//! [rule.DET003]
+//! entry_points = ["Soc::run_*", "Synchronizer::step_*"]
+//! sinks = ["my_entropy_helper"]
+//!
+//! [rule.PANIC002]
+//! roots = ["crates/rose-bridge/src"]
 //! ```
 //!
-//! A file matching a prefix is exempt from that rule wholesale (for
-//! whole-file exemptions like the synchronizer's wall-time throughput
-//! stats); single-line exemptions use `// rose-lint: allow(RULE, reason)`
-//! annotations instead, which are handled in [`crate::lint_source`].
+//! `[allow]` maps rule identifiers to arrays of workspace-relative path
+//! prefixes: a file matching a prefix is exempt from that rule wholesale
+//! (for whole-file exemptions like the synchronizer's wall-time throughput
+//! stats). Single-line exemptions use `// rose-lint: allow(RULE, reason)`
+//! annotations instead, handled in [`crate::lint_files`].
+//!
+//! `[rule.RULE]` sections tune tier W's workspace analysis per rule:
+//! `entry_points` (DET003's sim-side roots, `Type::fn` with a trailing-`*`
+//! glob), `sinks` (extra entropy-sink identifiers), and `roots`
+//! (PANIC002's fault-path file prefixes). Omitted keys fall back to the
+//! built-in defaults; a present key replaces the default list.
+//!
+//! Every `[allow]` entry records its source line so the stale-allow rule
+//! (ANN002) can point at a `rose-lint.toml` entry that no longer
+//! suppresses anything.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Parsed allowlist configuration.
+/// One `[allow]` entry: a rule exempted for one path prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The exempted rule identifier.
+    pub rule: String,
+    /// The workspace-relative path prefix.
+    pub prefix: String,
+    /// 1-based `rose-lint.toml` line the entry came from.
+    pub line: usize,
+}
+
+/// Per-rule list keys accepted inside `[rule.X]` sections.
+const RULE_LIST_KEYS: &[&str] = &["entry_points", "sinks", "roots"];
+
+/// Parsed configuration.
 #[derive(Debug, Default, Clone)]
 pub struct Config {
-    /// Rule id → workspace-relative path prefixes exempt from it.
-    allows: BTreeMap<String, Vec<String>>,
+    /// Every `[allow]` entry, in file order (one per rule × prefix).
+    entries: Vec<AllowEntry>,
+    /// `[rule.X]` sections: rule → key → values.
+    rule_lists: BTreeMap<String, BTreeMap<String, Vec<String>>>,
 }
 
 /// A configuration parse failure, with the offending 1-based line.
@@ -39,57 +71,92 @@ impl std::fmt::Display for ConfigError {
     }
 }
 
+enum Section {
+    None,
+    Allow,
+    Rule(String),
+}
+
 impl Config {
     /// Parses the configuration text.
     ///
     /// # Errors
     ///
-    /// [`ConfigError`] on an unknown section, a malformed entry, or an
-    /// entry outside any section.
+    /// [`ConfigError`] on an unknown section, a malformed entry, an entry
+    /// outside any section, or an unknown `[rule.X]` key.
     pub fn parse(text: &str) -> Result<Config, ConfigError> {
         let mut config = Config::default();
-        let mut in_allow = false;
+        let mut section = Section::None;
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
-            if let Some(section) = line.strip_prefix('[') {
-                let name = section.strip_suffix(']').ok_or_else(|| ConfigError {
+            if let Some(header) = line.strip_prefix('[') {
+                let name = header.strip_suffix(']').ok_or_else(|| ConfigError {
                     line: lineno,
                     message: format!("unterminated section header {raw:?}"),
                 })?;
-                match name.trim() {
-                    "allow" => in_allow = true,
-                    other => {
-                        return Err(ConfigError {
-                            line: lineno,
-                            message: format!("unknown section [{other}]"),
-                        })
-                    }
-                }
+                section = match name.trim() {
+                    "allow" => Section::Allow,
+                    other => match other.strip_prefix("rule.") {
+                        Some(rule) if !rule.trim().is_empty() => {
+                            Section::Rule(rule.trim().to_string())
+                        }
+                        _ => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown section [{other}]"),
+                            })
+                        }
+                    },
+                };
                 continue;
-            }
-            if !in_allow {
-                return Err(ConfigError {
-                    line: lineno,
-                    message: "entry outside [allow] section".into(),
-                });
             }
             let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
                 line: lineno,
-                message: format!("expected RULE = [..], got {line:?}"),
+                message: format!("expected KEY = [..], got {line:?}"),
             })?;
-            let paths = parse_string_array(value.trim()).ok_or_else(|| ConfigError {
+            let values = parse_string_array(value.trim()).ok_or_else(|| ConfigError {
                 line: lineno,
-                message: format!("expected a [\"path\", ..] array, got {:?}", value.trim()),
+                message: format!("expected a [\"..\", ..] array, got {:?}", value.trim()),
             })?;
-            config
-                .allows
-                .entry(key.trim().to_string())
-                .or_default()
-                .extend(paths);
+            match &section {
+                Section::None => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: "entry outside any section".into(),
+                    })
+                }
+                Section::Allow => {
+                    for prefix in values {
+                        config.entries.push(AllowEntry {
+                            rule: key.trim().to_string(),
+                            prefix,
+                            line: lineno,
+                        });
+                    }
+                }
+                Section::Rule(rule) => {
+                    let key = key.trim();
+                    if !RULE_LIST_KEYS.contains(&key) {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!(
+                                "unknown [rule.{rule}] key {key:?}; expected one of {RULE_LIST_KEYS:?}"
+                            ),
+                        });
+                    }
+                    config
+                        .rule_lists
+                        .entry(rule.clone())
+                        .or_default()
+                        .entry(key.to_string())
+                        .or_default()
+                        .extend(values);
+                }
+            }
         }
         Ok(config)
     }
@@ -107,27 +174,44 @@ impl Config {
         }
     }
 
-    /// True when `rel_path` is exempt from `rule` by prefix match.
-    pub fn is_allowed(&self, rule: &str, rel_path: &str) -> bool {
+    /// The first `[allow]` entry exempting `rel_path` from `rule`, as an
+    /// index into [`allow_entries`](Config::allow_entries).
+    pub fn match_allow(&self, rule: &str, rel_path: &str) -> Option<usize> {
         // Normalize Windows-style separators so prefixes always compare
         // against forward slashes.
         let normalized = rel_path.replace('\\', "/");
-        self.allows
+        self.entries
+            .iter()
+            .position(|e| e.rule == rule && matches_prefix(&normalized, &e.prefix))
+    }
+
+    /// True when `rel_path` is exempt from `rule` by prefix match.
+    pub fn is_allowed(&self, rule: &str, rel_path: &str) -> bool {
+        self.match_allow(rule, rel_path).is_some()
+    }
+
+    /// Every `[allow]` entry, in file order.
+    pub fn allow_entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+
+    /// The `[rule.X] key = [...]` list, if configured.
+    pub fn rule_list(&self, rule: &str, key: &str) -> Option<&[String]> {
+        self.rule_lists
             .get(rule)
-            .is_some_and(|prefixes| matches_any_prefix(&normalized, prefixes))
+            .and_then(|keys| keys.get(key))
+            .map(Vec::as_slice)
     }
 }
 
 /// Prefix matching with a path-component boundary: `crates/bench/src`
 /// matches `crates/bench/src/lib.rs` but not `crates/bench/srcfoo.rs`.
-fn matches_any_prefix(path: &str, prefixes: &[String]) -> bool {
-    prefixes.iter().any(|p| {
-        let p = p.trim_end_matches('/');
-        path == p
-            || path
-                .strip_prefix(p)
-                .is_some_and(|rest| rest.starts_with('/'))
-    })
+fn matches_prefix(path: &str, prefix: &str) -> bool {
+    let p = prefix.trim_end_matches('/');
+    path == p
+        || path
+            .strip_prefix(p)
+            .is_some_and(|rest| rest.starts_with('/'))
 }
 
 /// Parses `["a", "b"]` into its strings; `None` on malformed input.
@@ -162,11 +246,47 @@ mod tests {
     }
 
     #[test]
+    fn records_entry_lines_for_staleness_checks() {
+        let config = Config::parse(
+            "[allow]\nDET001 = [\"a.rs\", \"b.rs\"]\nPROF001 = [\"c.rs\"]\n",
+        )
+        .unwrap();
+        let entries = config.allow_entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].line, 2);
+        assert_eq!(entries[1].line, 2);
+        assert_eq!(entries[2].line, 3);
+        assert_eq!(config.match_allow("PROF001", "c.rs"), Some(2));
+    }
+
+    #[test]
+    fn parses_rule_sections() {
+        let config = Config::parse(
+            "[rule.DET003]\nentry_points = [\"Soc::run_*\"]\nsinks = [\"leaky\"]\n\
+             [rule.PANIC002]\nroots = [\"crates/rose-bridge/src\"]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            config.rule_list("DET003", "entry_points").unwrap(),
+            &["Soc::run_*".to_string()]
+        );
+        assert_eq!(config.rule_list("DET003", "sinks").unwrap(), &["leaky".to_string()]);
+        assert_eq!(
+            config.rule_list("PANIC002", "roots").unwrap(),
+            &["crates/rose-bridge/src".to_string()]
+        );
+        assert!(config.rule_list("DET003", "roots").is_none());
+        assert!(config.rule_list("SNAP002", "entry_points").is_none());
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         assert!(Config::parse("[allow\n").is_err());
         assert!(Config::parse("[unknown]\n").is_err());
         assert!(Config::parse("DET001 = []\n").is_err()); // outside a section
         assert!(Config::parse("[allow]\nDET001 = nope\n").is_err());
+        assert!(Config::parse("[rule.]\n").is_err());
+        assert!(Config::parse("[rule.DET003]\nbogus_key = [\"x\"]\n").is_err());
     }
 
     #[test]

@@ -448,4 +448,81 @@ mod tests {
             .unwrap();
         assert_eq!(b.line, 3);
     }
+
+    // Edge cases feeding the tier W parser: each must both survive (the
+    // parser never panics or derails) and produce the right token stream.
+
+    /// Lex + parse; returns the idents so token-stream shape is checkable
+    /// while proving `ast::parse` survives the stream.
+    fn idents_and_parse(src: &str) -> Vec<String> {
+        let lexed = lex(src);
+        let mask = vec![false; lexed.tokens.len()];
+        let _ = crate::ast::parse(&lexed.tokens, &mask);
+        idents(src)
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes_end_at_the_matching_fence() {
+        // The inner `"#` must not close a `##`-fenced raw string.
+        let src = r####"fn f() { let s = r##"contains "# and Instant::now()"##; g(); }"####;
+        assert_eq!(idents_and_parse(src), vec!["fn", "f", "let", "s", "g"]);
+        // A byte-raw string with hashes is one opaque literal too.
+        let src2 = r###"let t = br#"HashMap "quoted""#;"###;
+        assert_eq!(idents_and_parse(src2), vec!["let", "t"]);
+        let lexed = lex(src2);
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_containing_quotes_and_slashes() {
+        // The `"` and `//` inside must not open a string or eat the `*/`.
+        let src = "/* outer \" // /* inner unwrap() */ still \" */ fn after() {}";
+        assert_eq!(idents_and_parse(src), vec!["fn", "after"]);
+        // An unterminated quote inside a comment must not swallow the file.
+        assert_eq!(
+            idents_and_parse("/* lone \" quote */ fn g() { x.unwrap(); }"),
+            vec!["fn", "g", "x", "unwrap"]
+        );
+    }
+
+    #[test]
+    fn byte_char_escapes_are_single_opaque_literals() {
+        // b'\'' — the escaped quote must not terminate the literal early.
+        let src = r"fn f() { let q = b'\''; let n = b'\n'; let z = b'x'; }";
+        assert_eq!(
+            idents_and_parse(src),
+            vec!["fn", "f", "let", "q", "let", "n", "let", "z"]
+        );
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count(),
+            3
+        );
+        // Same for the char (non-byte) spelling.
+        assert_eq!(idents_and_parse(r"let c = '\'';"), vec!["let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_inside_generic_args_are_not_chars() {
+        let src = "fn f<'a, 'b>(x: Map<'a, K<'b>>, c: char) -> bool { c == 'a' }";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count(),
+            4,
+            "'a, 'b in the params and the two uses in the types"
+        );
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count(),
+            1,
+            "only the 'a' comparison at the end is a char literal"
+        );
+        // And the parser still sees one fn named f.
+        let mask = vec![false; lexed.tokens.len()];
+        let ast = crate::ast::parse(&lexed.tokens, &mask);
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].name, "f");
+    }
 }

@@ -4,36 +4,53 @@
 //! configs (see `rose::audit`). That promise is easy to break one line at
 //! a time — a `HashMap` drain here, an `Instant::now()` there — so this
 //! crate scans the workspace source with a hand-rolled Rust lexer
-//! ([`lexer`]) and flags the seven contract violations a token stream can
-//! reveal ([`rules`]):
+//! ([`lexer`]) and a two-tier analysis:
 //!
-//! | rule     | violation                                             |
-//! |----------|-------------------------------------------------------|
-//! | DET001   | wall-clock reads (`Instant::now`, `SystemTime`)       |
-//! | DET002   | unordered maps (`HashMap`/`HashSet`) in sim crates    |
-//! | PANIC001 | `unwrap`/`expect`/`panic!` on transport/bridge paths  |
-//! | TRACE001 | unpaired `span_begin*`/`span_end*` calls              |
-//! | CAST001  | truncating `as` casts in cycle arithmetic             |
-//! | SNAP001  | `..` rest patterns in `save_state`/`restore_state`    |
-//! | PROF001  | `Instant::now`/`SystemTime::now` outside the profiler |
+//! **Tier L** ([`rules`]) pattern-matches each file's token stream.
+//! **Tier W** ([`ast`], [`workspace`], [`wrules`]) parses every file into
+//! a lightweight item AST, builds a workspace symbol table plus a
+//! conservative call graph, and reasons interprocedurally.
+//!
+//! | rule     | tier | violation                                               |
+//! |----------|------|---------------------------------------------------------|
+//! | DET001   | L    | wall-clock reads (`Instant::now`, `SystemTime`)         |
+//! | DET002   | L    | unordered maps (`HashMap`/`HashSet`) in sim crates      |
+//! | DET003   | W    | nondeterminism sink reachable from a sim entry point    |
+//! | PANIC001 | L    | `unwrap`/`expect`/`panic!` on transport/bridge paths    |
+//! | PANIC002 | W    | panic site reachable from the transport/bridge path     |
+//! | TRACE001 | L    | unpaired `span_begin*`/`span_end*` calls                |
+//! | CAST001  | L    | truncating `as` casts in cycle arithmetic               |
+//! | SNAP001  | L    | `..` rest patterns in `save_state`/`restore_state`      |
+//! | SNAP002  | W    | struct field absent from both snapshot codec bodies     |
+//! | ANN001   | —    | malformed / reasonless `rose-lint:` annotation          |
+//! | ANN002   | —    | stale allow: annotation or toml entry suppressing nothing |
+//! | PROF001  | L    | `Instant::now`/`SystemTime::now` outside the profiler   |
 //!
 //! Suppression is always explicit: file-level via `rose-lint.toml`
 //! ([`config`]), or line-level via `// rose-lint: allow(RULE, reason)` —
 //! the reason is mandatory, and an annotation without one is itself a
-//! finding (ANN001).
+//! finding (ANN001). An allow that no longer suppresses anything is also
+//! a finding (ANN002), so exemptions cannot outlive the violation they
+//! excused.
 //!
 //! No dependencies, no `proc-macro`, no `syn`: the linter runs in an
 //! offline container before anything else builds.
 
+pub mod ast;
 pub mod config;
 pub mod lexer;
+pub mod output;
 pub mod rules;
+pub mod workspace;
+pub mod wrules;
 
 pub use config::{Config, ConfigError};
+pub use output::Format;
 pub use rules::{Finding, ALL_RULES};
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use workspace::Workspace;
 
 /// One reported violation, with its file attached.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,7 +128,169 @@ fn parse_allows(comments: &[(usize, String)]) -> (Vec<Allow>, Vec<Finding>) {
     (allows, findings)
 }
 
-/// Lints one file's source text.
+/// Per-file state carried through the two-tier pipeline.
+struct FileCtx {
+    rel: String,
+    lexed: lexer::Lexed,
+    allows: Vec<Allow>,
+    /// ANN001 findings from annotation parsing (never suppressible).
+    ann: Vec<Finding>,
+    /// Raw tier L + tier W findings, pre-suppression.
+    raw: Vec<Finding>,
+    /// Lines covered by `#[cfg(test)]` / `#[test]` regions: annotations
+    /// there guard test code the rules never visit, so they are exempt
+    /// from the ANN002 staleness check.
+    masked_lines: BTreeSet<usize>,
+}
+
+/// Lints a set of files as one workspace: tier L per file, tier W over
+/// the combined call graph, then suppression (toml allowlist first, line
+/// annotations second) and the ANN002 stale-annotation check.
+///
+/// `all_rules` forces every rule in scope regardless of path (self-test).
+/// Stale `rose-lint.toml` entries are only checked by [`lint_workspace`],
+/// which sees the whole tree — a partial file set proves nothing about an
+/// entry being dead.
+pub fn lint_files(files: &[(String, String)], config: &Config, all_rules: bool) -> Vec<Diagnostic> {
+    lint_files_inner(files, config, all_rules, false)
+}
+
+fn lint_files_inner(
+    files: &[(String, String)],
+    config: &Config,
+    all_rules: bool,
+    check_config_staleness: bool,
+) -> Vec<Diagnostic> {
+    let mut ctxs: Vec<FileCtx> = files
+        .iter()
+        .map(|(rel, source)| {
+            let lexed = lexer::lex(source);
+            let (allows, ann) = parse_allows(&lexed.comments);
+            let raw = rules::run_rules(rel, &lexed, all_rules);
+            let mask = rules::test_mask(&lexed.tokens);
+            let masked_lines = lexed
+                .tokens
+                .iter()
+                .zip(&mask)
+                .filter(|(_, m)| **m)
+                .map(|(t, _)| t.line)
+                .collect();
+            FileCtx {
+                rel: rel.clone(),
+                lexed,
+                allows,
+                ann,
+                raw,
+                masked_lines,
+            }
+        })
+        .collect();
+
+    // Tier W: one call graph over every in-scope file.
+    let extra_sinks: Vec<String> = config
+        .rule_list("DET003", "sinks")
+        .map(<[String]>::to_vec)
+        .unwrap_or_default();
+    let graph: Vec<usize> = (0..ctxs.len())
+        .filter(|&i| all_rules || wrules::in_graph_scope(&ctxs[i].rel))
+        .collect();
+    let ws_files: Vec<(String, &lexer::Lexed)> = graph
+        .iter()
+        .map(|&i| (ctxs[i].rel.clone(), &ctxs[i].lexed))
+        .collect();
+    let ws = Workspace::build(&ws_files, &extra_sinks);
+    for (ws_file, finding) in wrules::run_workspace_rules(&ws, config, all_rules) {
+        ctxs[graph[ws_file]].raw.push(finding);
+    }
+
+    // Suppression + emission, tracking which allows earned their keep.
+    let mut used_entries: BTreeSet<usize> = BTreeSet::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for ctx in &mut ctxs {
+        ctx.raw.sort_by_key(|f| (f.line, f.rule));
+        for finding in ctx.ann.drain(..) {
+            out.push(Diagnostic {
+                file: ctx.rel.clone(),
+                finding,
+            });
+        }
+        let mut used_allows = vec![false; ctx.allows.len()];
+        for finding in &ctx.raw {
+            if let Some(entry) = config.match_allow(finding.rule, &ctx.rel) {
+                used_entries.insert(entry);
+                continue;
+            }
+            let suppressor = ctx.allows.iter().position(|a| {
+                a.has_reason
+                    && a.rule == finding.rule
+                    && (finding.line == a.line || finding.line == a.line + 1)
+            });
+            if let Some(i) = suppressor {
+                used_allows[i] = true;
+                continue;
+            }
+            out.push(Diagnostic {
+                file: ctx.rel.clone(),
+                finding: finding.clone(),
+            });
+        }
+        // ANN002 — a reasoned annotation that suppressed nothing is stale:
+        // either the violation was fixed (delete the annotation) or the
+        // annotation never matched (wrong rule / wrong line — fix it).
+        if !config.is_allowed("ANN002", &ctx.rel) {
+            for (i, a) in ctx.allows.iter().enumerate() {
+                if a.has_reason
+                    && !used_allows[i]
+                    && !ctx.masked_lines.contains(&a.line)
+                    && !ctx.masked_lines.contains(&(a.line + 1))
+                {
+                    out.push(Diagnostic {
+                        file: ctx.rel.clone(),
+                        finding: Finding {
+                            rule: "ANN002",
+                            line: a.line,
+                            message: format!(
+                                "stale allow({rule}): no {rule} finding on this line \
+                                 or the next — the violation is gone, so delete the \
+                                 annotation",
+                                rule = a.rule
+                            ),
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    // ANN002 for rose-lint.toml [allow] entries nothing matched.
+    if check_config_staleness {
+        for (idx, entry) in config.allow_entries().iter().enumerate() {
+            if !used_entries.contains(&idx) {
+                out.push(Diagnostic {
+                    file: "rose-lint.toml".into(),
+                    finding: Finding {
+                        rule: "ANN002",
+                        line: entry.line,
+                        message: format!(
+                            "stale [allow] entry {rule} = \"{prefix}\": no {rule} \
+                             finding under that path — delete the entry",
+                            rule = entry.rule,
+                            prefix = entry.prefix
+                        ),
+                    },
+                });
+            }
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (&a.file, a.finding.line, a.finding.rule).cmp(&(&b.file, b.finding.line, b.finding.rule))
+    });
+    out
+}
+
+/// Lints one file's source text (single-file convenience over
+/// [`lint_files`]; tier W sees only this file's call graph).
 ///
 /// `rel_path` selects which rules are in scope (see
 /// [`rules::applies_to`]); `all_rules` forces every rule in scope (used by
@@ -119,24 +298,14 @@ fn parse_allows(comments: &[(usize, String)]) -> (Vec<Allow>, Vec<Finding>) {
 /// on the annotation's own line and the line directly below it — and only
 /// if it carries a reason.
 pub fn lint_source(rel_path: &str, source: &str, config: &Config, all_rules: bool) -> Vec<Finding> {
-    let lexed = lexer::lex(source);
-    let (allows, mut findings) = parse_allows(&lexed.comments);
-    let raw = rules::run_rules(rel_path, &lexed, all_rules);
-    for finding in raw {
-        if config.is_allowed(finding.rule, rel_path) {
-            continue;
-        }
-        let suppressed = allows.iter().any(|a| {
-            a.has_reason
-                && a.rule == finding.rule
-                && (finding.line == a.line || finding.line == a.line + 1)
-        });
-        if !suppressed {
-            findings.push(finding);
-        }
-    }
-    findings.sort_by_key(|f| (f.line, f.rule));
-    findings
+    lint_files(
+        &[(rel_path.to_string(), source.to_string())],
+        config,
+        all_rules,
+    )
+    .into_iter()
+    .map(|d| d.finding)
+    .collect()
 }
 
 /// The directories below the workspace root that are linted: the root
@@ -172,19 +341,20 @@ fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) {
     }
 }
 
-/// Lints every source file in the workspace rooted at `root`.
+/// Lints every source file in the workspace rooted at `root`, including
+/// the ANN002 staleness check over `rose-lint.toml` `[allow]` entries.
 ///
 /// # Errors
 ///
 /// An unreadable source file is reported as an error string; findings are
 /// never errors (they are the *output*).
 pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
-    let mut files = BTreeSet::new();
+    let mut paths = BTreeSet::new();
     for lint_root in lint_roots(root) {
-        collect_rs(&lint_root, &mut files);
+        collect_rs(&lint_root, &mut paths);
     }
-    let mut diagnostics = Vec::new();
-    for path in files {
+    let mut files = Vec::new();
+    for path in paths {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
@@ -192,25 +362,36 @@ pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, S
             .replace('\\', "/");
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        for finding in lint_source(&rel, &source, config, false) {
-            diagnostics.push(Diagnostic {
-                file: rel.clone(),
-                finding,
-            });
-        }
+        files.push((rel, source));
     }
-    Ok(diagnostics)
+    Ok(lint_files_inner(&files, config, false, true))
 }
 
 /// The seeded-violation fixture used by `--self-test` (and CI) to prove
 /// the linter still detects every rule it claims to.
 pub const SELF_TEST_FIXTURE: &str = include_str!("../fixtures/seeded.rs");
 
-/// Lints the embedded fixture with every rule in scope and no allowlist.
-pub fn lint_self_test_fixture() -> Vec<Finding> {
-    lint_source(
-        "crates/rose-lint/fixtures/seeded.rs",
-        SELF_TEST_FIXTURE,
+/// The companion fixture linted under a virtual `crates/rose-bridge/src/`
+/// path, so the path-scoped interprocedural rules (PANIC002 roots) fire
+/// in the self-test without touching the real bridge crate.
+pub const SELF_TEST_BRIDGE_FIXTURE: &str = include_str!("../fixtures/seeded_bridge.rs");
+
+/// Lints the embedded fixtures with every rule in scope and no allowlist.
+/// The two files form one virtual workspace: `seeded_bridge.rs` sits on
+/// the fault path and calls helpers defined in `seeded.rs`, which is how
+/// the interprocedural rules get cross-file chains to flag.
+pub fn lint_self_test_fixture() -> Vec<Diagnostic> {
+    lint_files(
+        &[
+            (
+                "crates/rose-lint/fixtures/seeded.rs".to_string(),
+                SELF_TEST_FIXTURE.to_string(),
+            ),
+            (
+                "crates/rose-bridge/src/seeded_bridge.rs".to_string(),
+                SELF_TEST_BRIDGE_FIXTURE.to_string(),
+            ),
+        ],
         &Config::default(),
         true,
     )
@@ -243,11 +424,13 @@ let w = y.unwrap();
     }
 
     #[test]
-    fn annotation_for_the_wrong_rule_does_not_suppress() {
+    fn annotation_for_the_wrong_rule_does_not_suppress_and_goes_stale() {
         let src = "// rose-lint: allow(DET001, not the right rule)\nlet v = x.unwrap();\n";
         let found = lint_source("crates/rose-bridge/src/x.rs", src, &Config::default(), false);
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].rule, "PANIC001");
+        let rules: Vec<&str> = found.iter().map(|f| f.rule).collect();
+        // The unwrap fires (wrong rule), and the DET001 allow — suppressing
+        // nothing — is itself stale.
+        assert_eq!(rules, vec!["ANN002", "PANIC001"]);
     }
 
     #[test]
@@ -275,21 +458,98 @@ let w = y.unwrap();
     }
 
     #[test]
+    fn ann002_flags_a_used_up_annotation() {
+        // The unwrap was fixed, the annotation lingers: stale.
+        let src = "// rose-lint: allow(PANIC001, tag validated above)\nlet v = x;\n";
+        let found = lint_source("crates/rose-bridge/src/x.rs", src, &Config::default(), false);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "ANN002");
+        assert!(found[0].message.contains("PANIC001"));
+    }
+
+    #[test]
+    fn ann002_spares_annotations_in_test_code() {
+        // Rules never fire inside #[cfg(test)], so an annotation there is
+        // documentation, not a stale suppression.
+        let src = "#[cfg(test)]\nmod tests {\n // rose-lint: allow(PANIC001, test helper)\n fn t() { x.unwrap(); }\n}\n";
+        let found = lint_source("crates/rose-bridge/src/x.rs", src, &Config::default(), false);
+        assert!(found.is_empty(), "unexpected: {found:?}");
+    }
+
+    #[test]
+    fn stale_toml_entries_are_flagged_in_workspace_mode() {
+        let dir = std::env::temp_dir().join(format!(
+            "rose-lint-stale-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let src_dir = dir.join("src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(src_dir.join("lib.rs"), "pub fn clean() -> u8 { 0 }\n").unwrap();
+        let config = Config::parse("[allow]\nDET001 = [\"src/lib.rs\"]\n").unwrap();
+        let found = lint_workspace(&dir, &config).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].file, "rose-lint.toml");
+        assert_eq!(found[0].finding.rule, "ANN002");
+        assert!(found[0].finding.message.contains("src/lib.rs"));
+    }
+
+    #[test]
+    fn used_toml_entries_are_not_stale() {
+        let dir = std::env::temp_dir().join(format!(
+            "rose-lint-used-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let src_dir = dir.join("src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "pub fn t() -> Instant { Instant::now() }\n",
+        )
+        .unwrap();
+        let config =
+            Config::parse("[allow]\nDET001 = [\"src\"]\nPROF001 = [\"src\"]\n").unwrap();
+        let found = lint_workspace(&dir, &config).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(found.is_empty(), "unexpected: {found:?}");
+    }
+
+    #[test]
     fn self_test_fixture_trips_every_rule() {
         let findings = lint_self_test_fixture();
         for rule in ALL_RULES {
             assert!(
-                findings.iter().any(|f| f.rule == *rule),
+                findings.iter().any(|d| d.finding.rule == *rule),
                 "fixture must contain a seeded {rule} violation; found {findings:?}"
             );
         }
         // And the fixture's negative half must NOT fire: the annotated
-        // unwrap and the balanced span function are clean.
+        // expect and the balanced span function are clean.
         assert!(
             !findings
                 .iter()
-                .any(|f| f.rule == "PANIC001" && f.message.contains("expect")),
+                .any(|d| d.finding.rule == "PANIC001" && d.finding.message.contains("expect")),
             "the annotated expect() in the fixture must be suppressed"
         );
+        // DET003 diagnostics carry the full entry-to-sink call chain.
+        let det3 = findings
+            .iter()
+            .find(|d| d.finding.rule == "DET003")
+            .expect("DET003 seeded");
+        assert!(
+            det3.finding.message.contains("Soc::step → "),
+            "DET003 must print the call chain: {}",
+            det3.finding.message
+        );
+        // PANIC002 lands at the out-of-root helper, with the chain from
+        // the bridge fixture.
+        let p2 = findings
+            .iter()
+            .find(|d| d.finding.rule == "PANIC002")
+            .expect("PANIC002 seeded");
+        assert_eq!(p2.file, "crates/rose-lint/fixtures/seeded.rs");
+        assert!(p2.finding.message.contains("seeded_transport_recv"));
     }
 }

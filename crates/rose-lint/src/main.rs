@@ -1,31 +1,51 @@
 //! The rose-lint command line.
 //!
 //! ```text
-//! rose-lint [--root DIR] [--config FILE] [--self-test] [--list-rules]
+//! rose-lint [--root DIR] [--config FILE] [--format text|json|github]
+//!           [--self-test] [--list-rules]
 //! ```
 //!
 //! * default: lint the workspace at `--root` (default `.`, which is the
 //!   workspace root under `cargo run -p rose-lint`), honoring the
-//!   `rose-lint.toml` allowlist. Exit 0 when clean, 1 on any violation.
-//! * `--self-test`: lint the embedded seeded-violation fixture with every
-//!   rule in scope. Exits 1 when every rule fired (the fixture's
-//!   violations were detected — the expected outcome, which CI asserts as
-//!   a non-zero exit), 2 if any rule failed to fire (the linter itself is
-//!   broken).
+//!   `rose-lint.toml` allowlist.
+//! * `--format`: `text` (default, `file:line: RULE message`), `json` (one
+//!   document with `count` + `findings`), or `github` (GitHub Actions
+//!   `::error` commands, so CI findings annotate the PR diff).
+//! * `--self-test`: lint the embedded seeded-violation fixtures with every
+//!   rule in scope. Exits 1 when every registered rule fired (the expected
+//!   outcome, which CI asserts as a non-zero exit), 2 if any rule failed
+//!   to fire (the linter itself is broken).
 //! * `--list-rules`: print the rule table and exit 0.
+//!
+//! # Exit-code contract
+//!
+//! | code | meaning                                                     |
+//! |------|-------------------------------------------------------------|
+//! | 0    | clean: the lint ran and found nothing                       |
+//! | 1    | findings: the lint ran and reported at least one violation  |
+//! | 2    | broken: bad usage, unreadable file/config, or a self-test   |
+//! |      | in which a registered rule failed to fire                   |
+//!
+//! CI distinguishes "the lint found a bug" (1) from "the lint could not
+//! do its job" (2); conflating them would let an IO error masquerade as a
+//! finding. The contract is pinned by `tests/cli.rs`.
 
-use rose_lint::{lint_self_test_fixture, lint_workspace, Config, ALL_RULES};
+use rose_lint::{lint_self_test_fixture, lint_workspace, output, Config, Format, ALL_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: rose-lint [--root DIR] [--config FILE] [--self-test] [--list-rules]");
+    eprintln!(
+        "usage: rose-lint [--root DIR] [--config FILE] [--format text|json|github] \
+         [--self-test] [--list-rules]"
+    );
     std::process::exit(2)
 }
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut self_test = false;
     let mut list_rules = false;
 
@@ -34,6 +54,10 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--root" => root = it.next().unwrap_or_else(|| usage()).into(),
             "--config" => config_path = Some(it.next().unwrap_or_else(|| usage()).into()),
+            "--format" => {
+                let value = it.next().unwrap_or_else(|| usage());
+                format = Format::parse(&value).unwrap_or_else(|| usage());
+            }
             "--self-test" => self_test = true,
             "--list-rules" => list_rules = true,
             _ => usage(),
@@ -41,36 +65,41 @@ fn main() -> ExitCode {
     }
 
     if list_rules {
-        println!("DET001   wall-clock reads (Instant::now / SystemTime) in simulation logic");
-        println!("DET002   HashMap/HashSet in simulation crates (use BTreeMap/BTreeSet)");
-        println!("PANIC001 unwrap/expect/panic! on transport/bridge/synchronizer paths");
-        println!("TRACE001 unpaired span_begin*/span_end* calls within a function");
-        println!("CAST001  truncating `as` casts in cycle arithmetic (widen via u128)");
-        println!("SNAP001  `..` rest patterns in save_state/restore_state (snapshot hidden state)");
-        println!("ANN001   malformed or reasonless rose-lint allow annotation");
-        println!("PROF001  direct Instant::now/SystemTime::now outside the profiler module");
+        println!("tier L (per-file token stream):");
+        println!("  DET001   wall-clock reads (Instant::now / SystemTime) in simulation logic");
+        println!("  DET002   HashMap/HashSet in simulation crates (use BTreeMap/BTreeSet)");
+        println!("  PANIC001 unwrap/expect/panic! on transport/bridge/synchronizer paths");
+        println!("  TRACE001 unpaired span_begin*/span_end* calls within a function");
+        println!("  CAST001  truncating `as` casts in cycle arithmetic (widen via u128)");
+        println!("  SNAP001  `..` rest patterns in save_state/restore_state (snapshot hidden state)");
+        println!("  PROF001  direct Instant::now/SystemTime::now outside the profiler module");
+        println!("tier W (workspace call graph):");
+        println!("  DET003   nondeterminism sink reachable from a sim entry point (chain printed)");
+        println!("  PANIC002 panic site reachable from the transport/bridge fault path");
+        println!("  SNAP002  struct field absent from both save_state and restore_state bodies");
+        println!("annotations:");
+        println!("  ANN001   malformed or reasonless rose-lint allow annotation");
+        println!("  ANN002   stale allow: annotation or rose-lint.toml entry suppressing nothing");
         return ExitCode::SUCCESS;
     }
 
     if self_test {
-        let findings = lint_self_test_fixture();
-        for f in &findings {
-            println!("fixtures/seeded.rs:{}: {} {}", f.line, f.rule, f.message);
-        }
+        let diagnostics = lint_self_test_fixture();
+        print!("{}", output::render(&diagnostics, format));
         let mut broken = false;
         for rule in ALL_RULES {
-            let hits = findings.iter().filter(|f| f.rule == *rule).count();
+            let hits = diagnostics.iter().filter(|d| d.finding.rule == *rule).count();
             if hits == 0 {
                 eprintln!("self-test BROKEN: rule {rule} did not fire on the seeded fixture");
                 broken = true;
             } else {
-                println!("self-test: {rule} fired {hits}x");
+                eprintln!("self-test: {rule} fired {hits}x");
             }
         }
         if broken {
             return ExitCode::from(2);
         }
-        println!(
+        eprintln!(
             "self-test: all {} rules detected their seeded violations \
              (exiting non-zero, as a lint of this fixture must)",
             ALL_RULES.len()
@@ -88,13 +117,15 @@ fn main() -> ExitCode {
     };
     match lint_workspace(&root, &config) {
         Ok(diagnostics) if diagnostics.is_empty() => {
-            println!("rose-lint: workspace clean");
+            if format == Format::Json {
+                print!("{}", output::render(&diagnostics, format));
+            } else {
+                eprintln!("rose-lint: workspace clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(diagnostics) => {
-            for d in &diagnostics {
-                println!("{d}");
-            }
+            print!("{}", output::render(&diagnostics, format));
             eprintln!("rose-lint: {} violation(s)", diagnostics.len());
             ExitCode::FAILURE
         }

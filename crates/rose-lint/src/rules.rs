@@ -19,7 +19,7 @@ pub struct Finding {
 
 /// Crates whose `src/` trees model simulated state — any data-dependent
 /// iteration there must be deterministically ordered (DET002 scope).
-const SIM_CRATES: &[&str] = &[
+pub const SIM_CRATES: &[&str] = &[
     "crates/sim-core/src",
     "crates/envsim/src",
     "crates/socsim/src",
@@ -40,7 +40,8 @@ const CYCLE_ARITH_FILES: &[&str] = &[
 /// Paths where a panic is a protocol hole, not a programming aid: the
 /// transport/bridge/synchronizer hot paths must latch faults instead
 /// (PANIC001 scope).
-const FAULT_PATH_PREFIXES: &[&str] = &["crates/rose-bridge/src", "crates/socsim/src/bridge.rs"];
+pub const FAULT_PATH_PREFIXES: &[&str] =
+    &["crates/rose-bridge/src", "crates/socsim/src/bridge.rs"];
 
 /// Integer types an `as` cast can truncate or wrap into. `u128`/`i128`
 /// (the sanctioned exact path) and float targets are exempt.
@@ -48,16 +49,22 @@ const TRUNCATING_TARGETS: &[&str] = &[
     "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
 ];
 
-/// All rule identifiers, in report order.
+/// All rule identifiers, in report order. Tier L rules run per file over
+/// the token stream; tier W rules ([`crate::wrules`]) run over the
+/// workspace call graph; ANN001/ANN002 run in the [`crate::lint_files`]
+/// pipeline itself.
 pub const ALL_RULES: &[&str] = &[
-    "DET001", "DET002", "PANIC001", "TRACE001", "CAST001", "SNAP001", "ANN001", "PROF001",
+    "DET001", "DET002", "DET003", "PANIC001", "PANIC002", "TRACE001", "CAST001", "SNAP001",
+    "SNAP002", "ANN001", "ANN002", "PROF001",
 ];
 
 /// The one module allowed to read host clocks directly: everything else
 /// funnels wall time through its `Stopwatch`/`Profiler` API (PROF001).
 const PROFILER_MODULE: &str = "crates/trace/src/profiler.rs";
 
-fn path_in(rel_path: &str, prefixes: &[&str]) -> bool {
+/// True when `rel_path` equals a prefix or sits below it (path-component
+/// boundary: `crates/rose/src` does not match `crates/rose/srcfoo.rs`).
+pub fn path_in(rel_path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| {
         rel_path == *p
             || rel_path

@@ -1,0 +1,480 @@
+//! Tier W's workspace model: symbol table, sinks, and the conservative
+//! call graph.
+//!
+//! Resolution is **name-based and over-approximating** — the linter has no
+//! type inference, so it errs toward extra edges rather than missed ones:
+//!
+//! - `.method(...)` receiver calls resolve to *every* workspace function
+//!   with that name, in any `impl`.
+//! - `Type::method(...)` path calls resolve precisely when `Type` names a
+//!   known `impl`/`trait` block (`Self::` uses the enclosing block), and
+//!   fall back to every function with that name otherwise.
+//! - Bare `helper(...)` calls resolve to free functions with that name.
+//!
+//! Known false-negative edges, accepted and documented (DESIGN.md §4g):
+//! calls through function pointers and closures, trait-object dispatch to
+//! impls whose method name the caller never utters (impossible — the name
+//! *is* the edge key — but a `dyn` call does not narrow to one impl), and
+//! associated functions imported via `use Type::method`. Test code is
+//! excluded from the graph wholesale.
+
+use crate::ast::{self, Ast};
+use crate::lexer::{Lexed, Tok, Token};
+use crate::rules::test_mask;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// What a determinism sink is (DET003's taint sources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// A host wall-clock read (`Instant::now`, `SystemTime::now`).
+    WallClock,
+    /// An entropy-seeded RNG (`thread_rng`, `from_entropy`, `OsRng`, ...).
+    Entropy,
+    /// `HashMap`/`HashSet` in the body: iteration order is unordered.
+    UnorderedIter,
+}
+
+/// One determinism sink inside a function body.
+#[derive(Debug, Clone)]
+pub struct Sink {
+    /// The kind of nondeterminism.
+    pub kind: SinkKind,
+    /// 1-based line of the sink.
+    pub line: usize,
+    /// The offending spelling, for diagnostics (`Instant::now()`, ...).
+    pub what: String,
+}
+
+/// One potential panic site inside a function body (PANIC002's sinks).
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-based line of the site.
+    pub line: usize,
+    /// The offending spelling (`.unwrap()`, `panic!`, ...).
+    pub what: String,
+}
+
+/// A function node in the workspace graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub self_ty: Option<String>,
+    /// 1-based line of the definition.
+    pub line: usize,
+    /// Resolved callee node ids, sorted and deduplicated.
+    pub callees: Vec<usize>,
+    /// Determinism sinks in the body.
+    pub sinks: Vec<Sink>,
+    /// Panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Identifiers appearing in the body — populated only for
+    /// `save_state`/`restore_state` (SNAP002's field-coverage check).
+    pub body_idents: Option<BTreeSet<String>>,
+}
+
+impl FnNode {
+    /// `Type::name` for methods, `name` for free functions.
+    pub fn qname(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A struct node in the workspace symbol table.
+#[derive(Debug)]
+pub struct StructNode {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the definition.
+    pub line: usize,
+    /// Declared named fields.
+    pub fields: Vec<ast::Field>,
+}
+
+/// Identifiers that read environmental entropy; reaching one from a sim
+/// entry point makes the mission unreproducible. Extended per-config via
+/// `[rule.DET003] sinks = [...]`.
+pub const ENTROPY_SINKS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+
+/// The whole-workspace model tier W rules run against.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Workspace-relative file paths, parallel to the `file` indices.
+    pub files: Vec<String>,
+    /// Every non-test function definition.
+    pub fns: Vec<FnNode>,
+    /// Every non-test struct definition.
+    pub structs: Vec<StructNode>,
+    /// Function name → node ids (methods and free fns alike).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// (self type, name) → node ids.
+    by_ty: BTreeMap<(String, String), Vec<usize>>,
+    /// Function name → free-fn node ids.
+    free_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    /// Builds the model from every lexed file. `extra_sinks` extends the
+    /// entropy sink list (from `[rule.DET003] sinks`).
+    pub fn build(files: &[(String, &Lexed)], extra_sinks: &[String]) -> Workspace {
+        let mut ws = Workspace::default();
+        let mut pending_calls: Vec<(usize, Vec<ast::Call>, Option<String>)> = Vec::new();
+        for (rel_path, lexed) in files {
+            let file_idx = ws.files.len();
+            ws.files.push(rel_path.clone());
+            let mask = test_mask(&lexed.tokens);
+            let ast = ast::parse(&lexed.tokens, &mask);
+            ws.index_ast(file_idx, ast, &lexed.tokens, extra_sinks, &mut pending_calls);
+        }
+        // Second pass: resolve calls now that every symbol is indexed.
+        for (fn_id, calls, self_ty) in pending_calls {
+            let mut callees = BTreeSet::new();
+            for call in &calls {
+                ws.resolve(call, self_ty.as_deref(), &mut callees);
+            }
+            ws.fns[fn_id].callees = callees.into_iter().collect();
+        }
+        ws
+    }
+
+    fn index_ast(
+        &mut self,
+        file_idx: usize,
+        ast: Ast,
+        tokens: &[Token],
+        extra_sinks: &[String],
+        pending_calls: &mut Vec<(usize, Vec<ast::Call>, Option<String>)>,
+    ) {
+        for f in ast.fns {
+            if f.is_test {
+                continue;
+            }
+            let id = self.fns.len();
+            let (sinks, panics) = match f.body {
+                Some((start, end)) => scan_body(tokens, start, end, extra_sinks),
+                None => (Vec::new(), Vec::new()),
+            };
+            let body_idents = match (f.name.as_str(), f.body) {
+                ("save_state" | "restore_state", Some((start, end))) => {
+                    let mut idents = BTreeSet::new();
+                    for t in &tokens[start..end] {
+                        if let Tok::Ident(s) = &t.tok {
+                            idents.insert(s.clone());
+                        }
+                    }
+                    Some(idents)
+                }
+                _ => None,
+            };
+            self.by_name.entry(f.name.clone()).or_default().push(id);
+            if let Some(ty) = &f.self_ty {
+                self.by_ty
+                    .entry((ty.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+            } else {
+                self.free_by_name.entry(f.name.clone()).or_default().push(id);
+            }
+            pending_calls.push((id, f.calls, f.self_ty.clone()));
+            self.fns.push(FnNode {
+                file: file_idx,
+                name: f.name,
+                self_ty: f.self_ty,
+                line: f.line,
+                callees: Vec::new(),
+                sinks,
+                panics,
+                body_idents,
+            });
+        }
+        for s in ast.structs {
+            if s.is_test {
+                continue;
+            }
+            self.structs.push(StructNode {
+                file: file_idx,
+                name: s.name,
+                line: s.line,
+                fields: s.fields,
+            });
+        }
+    }
+
+    /// Resolves one call to workspace node ids (see the module docs for
+    /// the resolution rules).
+    fn resolve(&self, call: &ast::Call, self_ty: Option<&str>, out: &mut BTreeSet<usize>) {
+        let name = call.name();
+        if call.method {
+            if let Some(ids) = self.by_name.get(name) {
+                out.extend(ids.iter().copied());
+            }
+            return;
+        }
+        match call.segments.len() {
+            0 => {}
+            1 => {
+                if let Some(ids) = self.free_by_name.get(name) {
+                    out.extend(ids.iter().copied());
+                }
+            }
+            _ => {
+                let qualifier = &call.segments[call.segments.len() - 2];
+                let ty = if qualifier == "Self" {
+                    self_ty.unwrap_or(qualifier)
+                } else {
+                    qualifier
+                };
+                if let Some(ids) = self.by_ty.get(&(ty.to_string(), name.to_string())) {
+                    out.extend(ids.iter().copied());
+                } else if let Some(ids) = self.free_by_name.get(name) {
+                    // `module::helper(...)`: a path-qualified free fn.
+                    out.extend(ids.iter().copied());
+                }
+            }
+        }
+    }
+
+    /// Node ids of functions matching an entry-point pattern: `Type::name`,
+    /// `name`, with a trailing `*` wildcard on the final segment
+    /// (`Synchronizer::run_*`).
+    pub fn match_entry(&self, pattern: &str) -> Vec<usize> {
+        let matches_glob = |name: &str, pat: &str| {
+            pat.strip_suffix('*')
+                .map_or(name == pat, |prefix| name.starts_with(prefix))
+        };
+        let mut out = Vec::new();
+        match pattern.split_once("::") {
+            Some((ty, fn_pat)) => {
+                for (id, f) in self.fns.iter().enumerate() {
+                    if f.self_ty.as_deref() == Some(ty) && matches_glob(&f.name, fn_pat) {
+                        out.push(id);
+                    }
+                }
+            }
+            None => {
+                for (id, f) in self.fns.iter().enumerate() {
+                    if matches_glob(&f.name, pattern) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Multi-source BFS over the call graph. Returns `node → parent`
+    /// (entries map to themselves), visiting in deterministic id order so
+    /// diagnostics are stable across runs.
+    pub fn reachable(&self, entries: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parents = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let mut sorted: Vec<usize> = entries.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &e in &sorted {
+            parents.insert(e, e);
+            queue.push_back(e);
+        }
+        while let Some(id) = queue.pop_front() {
+            for &callee in &self.fns[id].callees {
+                if let std::collections::btree_map::Entry::Vacant(v) = parents.entry(callee) {
+                    v.insert(id);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        parents
+    }
+
+    /// The call chain from the entry point down to `id`, rendered as
+    /// `Entry::fn → helper → sink_fn`.
+    pub fn chain(&self, parents: &BTreeMap<usize, usize>, mut id: usize) -> String {
+        let mut names = vec![self.fns[id].qname()];
+        while let Some(&p) = parents.get(&id) {
+            if p == id {
+                break;
+            }
+            names.push(self.fns[p].qname());
+            id = p;
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+}
+
+/// Scans a function body for determinism sinks and panic sites.
+fn scan_body(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    extra_sinks: &[String],
+) -> (Vec<Sink>, Vec<PanicSite>) {
+    const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let mut sinks = Vec::new();
+    let mut panics = Vec::new();
+    let ident = |i: usize| match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize, p: &str| matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(q)) if *q == p);
+    for k in start..end.min(tokens.len()) {
+        let line = tokens[k].line;
+        if let Some(name @ ("Instant" | "SystemTime")) = ident(k) {
+            if punct(k + 1, "::") && ident(k + 2) == Some("now") {
+                sinks.push(Sink {
+                    kind: SinkKind::WallClock,
+                    line,
+                    what: format!("{name}::now()"),
+                });
+            }
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = ident(k) {
+            sinks.push(Sink {
+                kind: SinkKind::UnorderedIter,
+                line,
+                what: format!("{name} (unordered iteration)"),
+            });
+        }
+        if let Some(name) = ident(k) {
+            if ENTROPY_SINKS.contains(&name) || extra_sinks.iter().any(|s| s == name) {
+                sinks.push(Sink {
+                    kind: SinkKind::Entropy,
+                    line,
+                    what: format!("{name} (entropy-seeded RNG)"),
+                });
+            }
+            if PANIC_MACROS.contains(&name) && punct(k + 1, "!") {
+                panics.push(PanicSite {
+                    line,
+                    what: format!("{name}!"),
+                });
+            }
+        }
+        if punct(k, ".")
+            && matches!(ident(k + 1), Some("unwrap") | Some("expect"))
+            && punct(k + 2, "(")
+        {
+            panics.push(PanicSite {
+                line: tokens[k + 1].line,
+                what: format!(".{}()", ident(k + 1).unwrap_or("unwrap")),
+            });
+        }
+    }
+    (sinks, panics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn build(sources: &[(&str, &str)]) -> Workspace {
+        let lexed: Vec<(String, Lexed)> = sources
+            .iter()
+            .map(|(path, src)| (path.to_string(), lex(src)))
+            .collect();
+        let refs: Vec<(String, &Lexed)> = lexed.iter().map(|(p, l)| (p.clone(), l)).collect();
+        Workspace::build(&refs, &[])
+    }
+
+    fn id_of(ws: &Workspace, qname: &str) -> usize {
+        ws.fns
+            .iter()
+            .position(|f| f.qname() == qname)
+            .unwrap_or_else(|| panic!("no fn {qname}"))
+    }
+
+    #[test]
+    fn cross_file_call_resolution_and_reachability() {
+        let ws = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl Soc {\n pub fn step(&mut self) { tick_helper(); }\n}",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn tick_helper() { deep(); }\nfn deep() { let t = Instant::now(); }",
+            ),
+        ]);
+        let entries = ws.match_entry("Soc::step");
+        assert_eq!(entries.len(), 1);
+        let parents = ws.reachable(&entries);
+        let deep = id_of(&ws, "deep");
+        assert!(parents.contains_key(&deep));
+        assert_eq!(ws.chain(&parents, deep), "Soc::step → tick_helper → deep");
+        assert_eq!(ws.fns[deep].sinks.len(), 1);
+        assert_eq!(ws.fns[deep].sinks[0].kind, SinkKind::WallClock);
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_conservatively() {
+        let ws = build(&[(
+            "crates/a/src/lib.rs",
+            "impl A {\n fn run(&self, x: &B) { x.helper(); }\n}\n\
+             impl B {\n fn helper(&self) {}\n}\n\
+             impl C {\n fn helper(&self) { panic!(\"boom\"); }\n}",
+        )]);
+        let run = id_of(&ws, "A::run");
+        // Both same-named methods are edges: no type inference.
+        assert_eq!(ws.fns[run].callees.len(), 2);
+    }
+
+    #[test]
+    fn self_path_calls_resolve_within_the_impl() {
+        let ws = build(&[(
+            "crates/a/src/lib.rs",
+            "impl Soc {\n fn run(&mut self) { Self::helper(); }\n fn helper() {}\n}",
+        )]);
+        let run = id_of(&ws, "Soc::run");
+        let helper = id_of(&ws, "Soc::helper");
+        assert_eq!(ws.fns[run].callees, vec![helper]);
+    }
+
+    #[test]
+    fn test_fns_are_outside_the_graph() {
+        let ws = build(&[(
+            "crates/a/src/lib.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { let x = Instant::now(); }\n}",
+        )]);
+        assert_eq!(ws.fns.len(), 1);
+        assert_eq!(ws.fns[0].name, "live");
+    }
+
+    #[test]
+    fn entry_globs_match_prefixes() {
+        let ws = build(&[(
+            "crates/a/src/lib.rs",
+            "impl Synchronizer {\n fn run_syncs(&mut self) {}\n fn run_until(&mut self) {}\n fn stats(&self) {}\n}",
+        )]);
+        assert_eq!(ws.match_entry("Synchronizer::run_*").len(), 2);
+        assert_eq!(ws.match_entry("Synchronizer::stats").len(), 1);
+        assert!(ws.match_entry("Soc::*").is_empty());
+    }
+
+    #[test]
+    fn panic_sites_and_entropy_sinks_are_collected() {
+        let ws = build(&[(
+            "crates/a/src/lib.rs",
+            "fn f(x: Option<u8>) {\n let seed = thread_rng();\n x.unwrap();\n y.expect(\"no\");\n unreachable!();\n}",
+        )]);
+        let f = &ws.fns[0];
+        assert_eq!(f.sinks.len(), 1);
+        assert_eq!(f.sinks[0].kind, SinkKind::Entropy);
+        let whats: Vec<&str> = f.panics.iter().map(|p| p.what.as_str()).collect();
+        assert_eq!(whats, vec![".unwrap()", ".expect()", "unreachable!"]);
+    }
+}

@@ -1,0 +1,412 @@
+//! Tier W: the interprocedural workspace rules.
+//!
+//! Where tier L ([`crate::rules`]) pattern-matches one file's token
+//! stream, tier W runs over the [`crate::workspace::Workspace`] call
+//! graph and reasons about *reachability*:
+//!
+//! - **DET003** — determinism taint: any function transitively reachable
+//!   from a sim-side entry point (`Soc::step`, `UavSim::step_frames`,
+//!   `Synchronizer::run_*`, ... — configurable via `[rule.DET003]
+//!   entry_points`) that reaches a wall-clock read, an entropy-seeded RNG,
+//!   or `HashMap`/`HashSet` unordered iteration is flagged, with the full
+//!   call chain in the diagnostic.
+//! - **PANIC002** — the PANIC001 surface extended through the call graph:
+//!   a helper *outside* the transport/bridge files that `unwrap()`s is
+//!   caught when it is reachable from a function defined inside them.
+//! - **SNAP002** — snapshot field coverage: for every type with a
+//!   `save_state`/`restore_state` pair, each declared struct field must be
+//!   mentioned in at least one of the two bodies; a field named in neither
+//!   is hidden state the codec silently drops (the semantic complement of
+//!   SNAP001's `..`-pattern ban).
+//!
+//! Findings land at the *sink* (the offending line in the offending
+//! file), so the existing `// rose-lint: allow(RULE, reason)` annotation
+//! and `rose-lint.toml` machinery suppress them like any tier L finding.
+
+use crate::config::Config;
+use crate::rules::{path_in, Finding, FAULT_PATH_PREFIXES, SIM_CRATES};
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+/// Files tier W builds its call graph from: the sim crates, the trace
+/// crate (digest-adjacent), and the root package. `crates/bench` and the
+/// linter itself are host-side tooling and stay outside the graph.
+pub const GRAPH_SCOPE: &[&str] = &[
+    "crates/sim-core/src",
+    "crates/envsim/src",
+    "crates/socsim/src",
+    "crates/dnn/src",
+    "crates/flightctl/src",
+    "crates/rose/src",
+    "crates/rose-bridge/src",
+    "crates/trace/src",
+    "src",
+];
+
+/// DET003's default sim-side entry points (overridable via
+/// `[rule.DET003] entry_points`). Everything the synchronizer drives on
+/// the simulated-time axis: the SoC cycle loop, the environment frame
+/// loop, and the synchronizer's own quantum loop.
+pub const DET003_DEFAULT_ENTRY_POINTS: &[&str] = &[
+    "Soc::step",
+    "Soc::run_*",
+    "UavSim::step_*",
+    "UavSim::handle",
+    "CoSimEnv::step_*",
+    "Synchronizer::run_*",
+    "Synchronizer::step_*",
+];
+
+/// True when `rel_path` participates in the tier W call graph.
+pub fn in_graph_scope(rel_path: &str) -> bool {
+    path_in(rel_path, GRAPH_SCOPE)
+}
+
+/// Runs every tier W rule; returns `(file index, finding)` pairs.
+/// `all_rules` (self-test) skips the per-rule path scoping so the seeded
+/// fixture can live under `crates/rose-lint/fixtures/`.
+pub fn run_workspace_rules(
+    ws: &Workspace,
+    config: &Config,
+    all_rules: bool,
+) -> Vec<(usize, Finding)> {
+    let mut findings = Vec::new();
+    det003(ws, config, &mut findings);
+    panic002(ws, config, &mut findings);
+    snap002(ws, all_rules, &mut findings);
+    findings
+}
+
+/// DET003 — determinism taint from sim entry points to nondeterminism
+/// sinks, with the call chain printed.
+fn det003(ws: &Workspace, config: &Config, out: &mut Vec<(usize, Finding)>) {
+    let default_entries: Vec<String> = DET003_DEFAULT_ENTRY_POINTS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let patterns = config
+        .rule_list("DET003", "entry_points")
+        .unwrap_or(&default_entries);
+    let mut entries = Vec::new();
+    for pattern in patterns {
+        entries.extend(ws.match_entry(pattern));
+    }
+    let parents = ws.reachable(&entries);
+    for &id in parents.keys() {
+        let f = &ws.fns[id];
+        for sink in &f.sinks {
+            let chain = ws.chain(&parents, id);
+            out.push((
+                f.file,
+                Finding {
+                    rule: "DET003",
+                    line: sink.line,
+                    message: format!(
+                        "{what} is reachable from a sim-side entry point; call chain: \
+                         {chain} → {what}. Simulated state must not depend on host \
+                         time, entropy, or unordered iteration — derive it from \
+                         cycles/frames/SimRng, or annotate with \
+                         // rose-lint: allow(DET003, reason)",
+                        what = sink.what
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// PANIC002 — panic sites outside the fault-path files that are reachable
+/// from functions defined inside them.
+fn panic002(ws: &Workspace, config: &Config, out: &mut Vec<(usize, Finding)>) {
+    let default_roots: Vec<String> = FAULT_PATH_PREFIXES.iter().map(|s| s.to_string()).collect();
+    let root_prefixes = config
+        .rule_list("PANIC002", "roots")
+        .unwrap_or(&default_roots);
+    let prefix_strs: Vec<&str> = root_prefixes.iter().map(String::as_str).collect();
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| path_in(&ws.files[f.file], &prefix_strs))
+        .map(|(id, _)| id)
+        .collect();
+    let parents = ws.reachable(&roots);
+    for &id in parents.keys() {
+        let f = &ws.fns[id];
+        if path_in(&ws.files[f.file], &prefix_strs) {
+            // Panic sites inside the fault-path files are PANIC001's job.
+            continue;
+        }
+        for site in &f.panics {
+            let chain = ws.chain(&parents, id);
+            out.push((
+                f.file,
+                Finding {
+                    rule: "PANIC002",
+                    line: site.line,
+                    message: format!(
+                        "{what} is reachable from the transport/bridge path; call \
+                         chain: {chain} → {what}. A panic here deadlocks the \
+                         lockstep peer mid-quantum — return an error / latch a \
+                         fault, or annotate with // rose-lint: allow(PANIC002, reason)",
+                        what = site.what
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// SNAP002 — snapshot field coverage for every `save_state`/`restore_state`
+/// pair.
+fn snap002(ws: &Workspace, all_rules: bool, out: &mut Vec<(usize, Finding)>) {
+    // Collect, per impl type, the save/restore bodies' identifier sets.
+    let mut pairs: BTreeMap<&str, (Vec<usize>, Vec<usize>)> = BTreeMap::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        let Some(ty) = f.self_ty.as_deref() else {
+            continue;
+        };
+        if f.body_idents.is_none() {
+            continue;
+        }
+        let slot = pairs.entry(ty).or_default();
+        match f.name.as_str() {
+            "save_state" => slot.0.push(id),
+            "restore_state" => slot.1.push(id),
+            _ => {}
+        }
+    }
+    for (ty, (saves, restores)) in pairs {
+        if saves.is_empty() || restores.is_empty() {
+            // Not a pair: a lone save_state (or an assoc-fn-only restore
+            // codec on a remote type) has no coverage contract here.
+            continue;
+        }
+        // Resolve the struct: same file as the save fn first, then a
+        // unique workspace-wide match; ambiguity means we stay silent
+        // (conservative — no false positives on name collisions).
+        let save_file = ws.fns[saves[0]].file;
+        let candidates: Vec<&crate::workspace::StructNode> =
+            ws.structs.iter().filter(|s| s.name == ty).collect();
+        let strukt = match candidates.len() {
+            0 => continue,
+            1 => candidates[0],
+            _ => match candidates.iter().find(|s| s.file == save_file) {
+                Some(s) => *s,
+                None => continue,
+            },
+        };
+        if !all_rules && !path_in(&ws.files[strukt.file], SIM_CRATES)
+            && !path_in(&ws.files[strukt.file], &["crates/trace/src"])
+        {
+            continue;
+        }
+        let mut mentioned: std::collections::BTreeSet<&str> = Default::default();
+        for &id in saves.iter().chain(&restores) {
+            if let Some(idents) = &ws.fns[id].body_idents {
+                mentioned.extend(idents.iter().map(String::as_str));
+            }
+        }
+        for field in &strukt.fields {
+            if !mentioned.contains(field.name.as_str()) {
+                out.push((
+                    strukt.file,
+                    Finding {
+                        rule: "SNAP002",
+                        line: field.line,
+                        message: format!(
+                            "field `{field}` of `{ty}` appears in neither \
+                             {ty}::save_state nor {ty}::restore_state — hidden \
+                             state the snapshot silently drops; serialize it, bind \
+                             it to `_` in an exhaustive destructuring, or annotate \
+                             the field with // rose-lint: allow(SNAP002, reason) if \
+                             it is deliberately host-side (DESIGN.md §4f)",
+                            field = field.name
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, Lexed};
+
+    fn run(sources: &[(&str, &str)], config: &Config) -> Vec<(String, Finding)> {
+        let lexed: Vec<(String, Lexed)> = sources
+            .iter()
+            .map(|(p, s)| (p.to_string(), lex(s)))
+            .collect();
+        let refs: Vec<(String, &Lexed)> = lexed.iter().map(|(p, l)| (p.clone(), l)).collect();
+        let ws = Workspace::build(&refs, &[]);
+        run_workspace_rules(&ws, config, true)
+            .into_iter()
+            .map(|(file, f)| (ws.files[file].clone(), f))
+            .collect()
+    }
+
+    #[test]
+    fn det003_prints_the_full_call_chain() {
+        let found = run(
+            &[
+                (
+                    "crates/socsim/src/soc.rs",
+                    "impl Soc {\n pub fn step(&mut self) { tick_helper(); }\n}",
+                ),
+                (
+                    "crates/socsim/src/util.rs",
+                    "pub fn tick_helper() { deep_clock(); }\n\
+                     fn deep_clock() -> u64 { Instant::now().elapsed().as_micros() as u64 }",
+                ),
+            ],
+            &Config::default(),
+        );
+        let det: Vec<_> = found.iter().filter(|(_, f)| f.rule == "DET003").collect();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].0, "crates/socsim/src/util.rs");
+        assert!(
+            det[0].1.message.contains("Soc::step → tick_helper → deep_clock"),
+            "chain missing from: {}",
+            det[0].1.message
+        );
+    }
+
+    #[test]
+    fn det003_ignores_unreachable_sinks() {
+        let found = run(
+            &[(
+                "crates/socsim/src/soc.rs",
+                "impl Soc {\n pub fn step(&mut self) {}\n}\n\
+                 fn never_called() { let t = Instant::now(); }",
+            )],
+            &Config::default(),
+        );
+        assert!(found.iter().all(|(_, f)| f.rule != "DET003"));
+    }
+
+    #[test]
+    fn det003_entry_points_are_configurable() {
+        let config =
+            Config::parse("[rule.DET003]\nentry_points = [\"Fleet::dispatch\"]\n").unwrap();
+        let found = run(
+            &[(
+                "crates/socsim/src/fleet.rs",
+                "impl Fleet {\n fn dispatch(&mut self) { let s: HashSet<u8> = x; }\n}\n\
+                 impl Soc {\n fn step(&mut self) { let t = Instant::now(); }\n}",
+            )],
+            &config,
+        );
+        let det: Vec<_> = found.iter().filter(|(_, f)| f.rule == "DET003").collect();
+        // Only the configured entry's HashSet sink fires; the default
+        // Soc::step entry was replaced.
+        assert_eq!(det.len(), 1);
+        assert!(det[0].1.message.contains("HashSet"));
+    }
+
+    #[test]
+    fn panic002_catches_helpers_reachable_from_the_bridge() {
+        let found = run(
+            &[
+                (
+                    "crates/rose-bridge/src/transport.rs",
+                    "pub fn serve(&mut self) { decode_helper(&buf); }",
+                ),
+                (
+                    "crates/socsim/src/program.rs",
+                    "pub fn decode_helper(buf: &[u8]) -> u8 { buf.first().unwrap() }",
+                ),
+            ],
+            &Config::default(),
+        );
+        let p2: Vec<_> = found.iter().filter(|(_, f)| f.rule == "PANIC002").collect();
+        assert_eq!(p2.len(), 1);
+        assert_eq!(p2[0].0, "crates/socsim/src/program.rs");
+        assert!(p2[0].1.message.contains("serve → decode_helper"));
+    }
+
+    #[test]
+    fn panic002_leaves_root_file_panics_to_panic001() {
+        let found = run(
+            &[(
+                "crates/rose-bridge/src/transport.rs",
+                "pub fn serve(&mut self) { x.unwrap(); }",
+            )],
+            &Config::default(),
+        );
+        assert!(found.iter().all(|(_, f)| f.rule != "PANIC002"));
+    }
+
+    #[test]
+    fn snap002_flags_fields_absent_from_both_bodies() {
+        let found = run(
+            &[(
+                "crates/socsim/src/rec.rs",
+                "pub struct Recorder { ticks: u64, dropped: u64 }\n\
+                 impl Recorder {\n\
+                 pub fn save_state(&self, w: &mut SnapWriter) { w.u64(self.ticks); }\n\
+                 pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> { self.ticks = r.u64()?; Ok(()) }\n\
+                 }",
+            )],
+            &Config::default(),
+        );
+        let s2: Vec<_> = found.iter().filter(|(_, f)| f.rule == "SNAP002").collect();
+        assert_eq!(s2.len(), 1);
+        assert!(s2[0].1.message.contains("`dropped`"));
+        assert!(s2[0].1.message.contains("Recorder"));
+    }
+
+    #[test]
+    fn snap002_accepts_underscore_bound_structural_fields() {
+        let found = run(
+            &[(
+                "crates/socsim/src/rec.rs",
+                "pub struct Recorder { ticks: u64, config: Config }\n\
+                 impl Recorder {\n\
+                 pub fn save_state(&self, w: &mut SnapWriter) {\n\
+                   let Self { ticks, config: _ } = self;\n w.u64(*ticks);\n }\n\
+                 pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> { self.ticks = r.u64()?; Ok(()) }\n\
+                 }",
+            )],
+            &Config::default(),
+        );
+        assert!(found.iter().all(|(_, f)| f.rule != "SNAP002"));
+    }
+
+    #[test]
+    fn snap002_covers_fields_mentioned_in_only_one_body() {
+        let found = run(
+            &[(
+                "crates/socsim/src/rec.rs",
+                "pub struct Recorder { ticks: u64 }\n\
+                 impl Recorder {\n\
+                 pub fn save_state(&self, w: &mut SnapWriter) { w.u64(self.ticks); }\n\
+                 pub fn restore_state(&mut self, _r: &mut SnapReader) -> Result<(), SnapError> { Ok(()) }\n\
+                 }",
+            )],
+            &Config::default(),
+        );
+        // `ticks` appears in save_state: covered (asymmetric codecs are
+        // legal — restore may rebuild from config).
+        assert!(found.iter().all(|(_, f)| f.rule != "SNAP002"));
+    }
+
+    #[test]
+    fn snap002_skips_types_without_a_pair_or_without_a_struct() {
+        let found = run(
+            &[(
+                "crates/socsim/src/rec.rs",
+                "pub struct OnlySave { ticks: u64 }\n\
+                 impl OnlySave {\n pub fn save_state(&self, w: &mut SnapWriter) {}\n}\n\
+                 impl NoStruct {\n\
+                 pub fn save_state(&self, w: &mut SnapWriter) {}\n\
+                 pub fn restore_state(&mut self, r: &mut SnapReader) -> Result<(), SnapError> { Ok(()) }\n\
+                 }",
+            )],
+            &Config::default(),
+        );
+        assert!(found.iter().all(|(_, f)| f.rule != "SNAP002"));
+    }
+}

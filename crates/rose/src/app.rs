@@ -383,6 +383,7 @@ impl TrailNavApp {
             .plans
             .iter()
             .find(|(m, _)| *m == model)
+            // rose-lint: allow(PANIC002, new() builds a plan for every DnnModel variant)
             .expect("plan built at construction")
             .1
     }
@@ -414,6 +415,7 @@ impl TrailNavApp {
             .heads
             .iter_mut()
             .find(|(m, _)| *m == model)
+            // rose-lint: allow(PANIC002, new() builds a head for every DnnModel variant)
             .expect("head built at construction")
             .1;
         let out = head.classify(trail.heading_error, trail.lateral_offset, trail.half_width);
@@ -549,6 +551,7 @@ impl TargetProgram for TrailNavApp {
         let model_idx = plans
             .iter()
             .position(|(m, _)| m == current_model)
+            // rose-lint: allow(PANIC002, current_model is only ever set from plans' keys)
             .expect("current model always has a plan");
         w.u8(model_idx as u8);
         w.bool(*use_argmax);

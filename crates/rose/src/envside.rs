@@ -116,11 +116,13 @@ impl EnvSide for CoSimEnv {
                         trail,
                     }
                     .encode()],
+                    // rose-lint: allow(PANIC002, UavSim::handle answers GetImage with Image by construction)
                     other => unreachable!("GetImage answered with {other:?}"),
                 }
             }
             AppMessage::DepthRequest => match self.sim.handle(SimRequest::GetDepth) {
                 SimResponse::Depth(d) => vec![AppMessage::Depth { depth: d.depth }.encode()],
+                // rose-lint: allow(PANIC002, UavSim::handle answers GetDepth with Depth by construction)
                 other => unreachable!("GetDepth answered with {other:?}"),
             },
             AppMessage::ImuRequest => match self.sim.handle(SimRequest::GetImu) {
@@ -129,6 +131,7 @@ impl EnvSide for CoSimEnv {
                     gyro: [s.gyro.x, s.gyro.y, s.gyro.z],
                 }
                 .encode()],
+                // rose-lint: allow(PANIC002, UavSim::handle answers GetImu with Imu by construction)
                 other => unreachable!("GetImu answered with {other:?}"),
             },
             AppMessage::Command {

@@ -106,13 +106,13 @@ impl MpcSolver {
             // Forward rollout.
             let mut ys = Vec::with_capacity(h + 1);
             let mut psis = Vec::with_capacity(h + 1);
-            ys.push(lateral_offset);
-            psis.push(heading_error);
+            let (mut y, mut psi) = (lateral_offset, heading_error);
+            ys.push(y);
+            psis.push(psi);
             for &r in &controls {
-                let y = ys.last().expect("rollout state");
-                let psi = psis.last().expect("rollout state");
-                ys.push(y + cfg.dt * v * psi);
-                psis.push(psi + cfg.dt * r);
+                (y, psi) = (y + cfg.dt * v * psi, psi + cfg.dt * r);
+                ys.push(y);
+                psis.push(psi);
             }
             cost = (1..=h)
                 .map(|k| cfg.q_offset * ys[k] * ys[k] + cfg.q_heading * psis[k] * psis[k])
@@ -256,6 +256,7 @@ impl TargetProgram for MpcApp {
                     return TargetOp::CpuKernel(Kernel::Control { ops });
                 }
                 State::SendCommand => {
+                    // rose-lint: allow(PANIC002, SendCommand is only entered after Solve stores a solution)
                     let solution = self.pending_solution.take().expect("solved");
                     let yaw_rate = solution.controls.first().copied().unwrap_or(0.0);
                     // Lateral velocity from a proportional term on the

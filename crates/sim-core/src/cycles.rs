@@ -45,6 +45,7 @@ impl Cycle {
     pub fn since(self, earlier: Cycle) -> u64 {
         self.0
             .checked_sub(earlier.0)
+            // rose-lint: allow(PANIC002, documented panic contract; callers pass monotone cycles)
             .expect("Cycle::since called with a later cycle")
     }
 

@@ -300,6 +300,7 @@ impl<'a> SnapReader<'a> {
     ///
     /// [`SnapError::Truncated`] if the buffer is exhausted.
     pub fn u16(&mut self) -> Result<u16, SnapError> {
+        // rose-lint: allow(PANIC002, take(2) returned exactly 2 bytes; the conversion is infallible)
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
     }
 
@@ -309,6 +310,7 @@ impl<'a> SnapReader<'a> {
     ///
     /// [`SnapError::Truncated`] if the buffer is exhausted.
     pub fn u32(&mut self) -> Result<u32, SnapError> {
+        // rose-lint: allow(PANIC002, take(4) returned exactly 4 bytes; the conversion is infallible)
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
     }
 
@@ -318,6 +320,7 @@ impl<'a> SnapReader<'a> {
     ///
     /// [`SnapError::Truncated`] if the buffer is exhausted.
     pub fn u64(&mut self) -> Result<u64, SnapError> {
+        // rose-lint: allow(PANIC002, take(8) returned exactly 8 bytes; the conversion is infallible)
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 

@@ -218,6 +218,7 @@ impl CpuModel {
             }
             // ROB full: stall dispatch until the oldest in-flight retires.
             if completed.len() >= window {
+                // rose-lint: allow(PANIC002, guarded by completed.len() >= window with window >= 1)
                 let oldest = *completed.front().expect("nonempty window");
                 if oldest > dispatch_cycle {
                     dispatch_cycle = oldest;
@@ -258,6 +259,7 @@ impl CpuModel {
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, &t)| t)
+                    // rose-lint: allow(PANIC002, port pools are config-sized with at least one port)
                     .expect("nonempty port pool");
                 start = start.max(free_at);
                 ports[idx] = start + 1;
@@ -266,12 +268,14 @@ impl CpuModel {
             // Execution latency.
             let latency = match instr.class {
                 InstrClass::Load => {
+                    // rose-lint: allow(PANIC002, the trace generator sets addr on every Load)
                     let addr = instr.addr.expect("load without address");
                     mem.access(addr, false)
                 }
                 InstrClass::Store => {
                     // Stores retire through a store buffer: account the
                     // cache state change but do not stall the pipeline.
+                    // rose-lint: allow(PANIC002, the trace generator sets addr on every Store)
                     let addr = instr.addr.expect("store without address");
                     mem.access(addr, true);
                     1

@@ -146,6 +146,7 @@ impl Cache {
         }
         self.stats.misses += 1;
         if set.len() == self.config.ways {
+            // rose-lint: allow(PANIC002, guarded by set.len() == ways with ways >= 1)
             let (_, dirty) = set.pop().expect("nonempty set");
             if dirty {
                 self.stats.writebacks += 1;

@@ -464,6 +464,7 @@ impl Soc {
     fn accel(&mut self) -> &mut GemminiModel {
         self.gemmini
             .as_mut()
+            // rose-lint: allow(PANIC002, programs with accel ops only compile for accel-equipped SocConfigs)
             .expect("program issued an accelerator op on an SoC without an accelerator")
     }
 
@@ -476,6 +477,7 @@ impl Soc {
         let gemmini = self
             .gemmini
             .as_mut()
+            // rose-lint: allow(PANIC002, programs with accel ops only compile for accel-equipped SocConfigs)
             .expect("program issued an accelerator op on an SoC without an accelerator");
         let run = gemmini.conv(shape, &mut self.mem);
         gemmini.release_bus(&mut self.mem);
@@ -491,6 +493,7 @@ impl Soc {
         let gemmini = self
             .gemmini
             .as_mut()
+            // rose-lint: allow(PANIC002, programs with accel ops only compile for accel-equipped SocConfigs)
             .expect("program issued an accelerator op on an SoC without an accelerator");
         let run = gemmini.matmul(m, k, n, &mut self.mem);
         gemmini.release_bus(&mut self.mem);
@@ -581,6 +584,7 @@ impl Soc {
                 if p.remaining > 0 {
                     return; // budget exhausted mid-op
                 }
+                // rose-lint: allow(PANIC002, remaining == 0 implies the pending op set above is present)
                 let done = self.pending.take().expect("pending op");
                 match done.effect {
                     Effect::None => {}

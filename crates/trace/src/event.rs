@@ -18,6 +18,7 @@ use std::sync::Mutex;
 /// the stack), so the leak is bounded and deduplicated across restores.
 pub fn intern(s: &str) -> &'static str {
     static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    // rose-lint: allow(PANIC002, lock poisoning implies a prior panic; propagating adds no new failure)
     let mut set = INTERNED.lock().expect("intern table poisoned");
     if let Some(&existing) = set.get(s) {
         return existing;

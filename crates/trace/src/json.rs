@@ -119,7 +119,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -151,7 +151,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -162,7 +162,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':' after object key")?;
+            self.expect_byte(b':', "expected ':' after object key")?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -179,7 +179,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -202,7 +202,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -233,7 +233,9 @@ impl Parser<'_> {
                     // Consume one full UTF-8 scalar (input is a &str, so
                     // the encoding is already valid).
                     let rest = &self.bytes[self.pos..];
+                    // rose-lint: allow(PANIC002, bytes came from a &str; a non-empty UTF-8 suffix is valid)
                     let text = std::str::from_utf8(rest).expect("input was a &str");
+                    // rose-lint: allow(PANIC002, peek() returned Some so the suffix is non-empty)
                     let c = text.chars().next().expect("peeked byte exists");
                     out.push(c);
                     self.pos += c.len_utf8();
