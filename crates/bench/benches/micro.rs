@@ -75,7 +75,10 @@ fn bench_cpu_model(c: &mut Criterion) {
 
 fn bench_packets(c: &mut Criterion) {
     let mut group = c.benchmark_group("packet_codec");
-    let data = Packet::Data(vec![7u8; 4096]);
+    let data = Packet::Data {
+        seq: 0,
+        payload: vec![7u8; 4096],
+    };
     group.bench_function("encode_4k", |b| {
         b.iter(|| black_box(data.to_bytes()))
     });

@@ -104,6 +104,21 @@ impl Imu {
         self.rng.restore_state(r)
     }
 
+    /// Applies a step change to the accelerometer bias, modeling an
+    /// in-flight degradation event (thermal drift, a knock). The shift is
+    /// part of the dynamic state: it lands in `accel_bias`, which is
+    /// serialized, so a snapshot taken after the step resumes with the
+    /// degraded bias intact.
+    pub fn shift_accel_bias(&mut self, delta: Vec3) {
+        self.accel_bias += delta;
+    }
+
+    /// The current accelerometer bias (initial draw plus any applied
+    /// [`shift_accel_bias`](Imu::shift_accel_bias) steps).
+    pub fn accel_bias(&self) -> Vec3 {
+        self.accel_bias
+    }
+
     /// Samples the IMU given the true body state.
     pub fn sample(&mut self, body: &QuadrotorBody, timestamp: f64) -> ImuSample {
         let noise = |std_dev: f64, r: &mut SimRng| {
@@ -245,6 +260,28 @@ mod tests {
             imu.sample(&body, 0.0)
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn bias_step_shifts_the_mean_and_survives_a_snapshot() {
+        let params = QuadrotorParams::default();
+        let body = QuadrotorBody::new(params, RigidBodyState::default());
+        let rng = SimRng::new(9);
+        let mut imu = Imu::new(ImuConfig::default(), &rng);
+        let before = imu.accel_bias();
+        imu.shift_accel_bias(Vec3::new(0.5, 0.0, -0.25));
+        assert!((imu.accel_bias().x - before.x - 0.5).abs() < 1e-12);
+        assert!((imu.accel_bias().z - before.z + 0.25).abs() < 1e-12);
+
+        // The shifted bias rides along in the snapshot.
+        let mut w = rose_sim_core::snap::SnapWriter::new();
+        imu.save_state(&mut w);
+        let buf = w.into_bytes();
+        let mut restored = Imu::new(ImuConfig::default(), &SimRng::new(1234));
+        let mut r = rose_sim_core::snap::SnapReader::new(&buf);
+        restored.restore_state(&mut r).unwrap();
+        let mut a = imu.clone();
+        assert_eq!(a.sample(&body, 1.0), restored.sample(&body, 1.0));
     }
 
     #[test]

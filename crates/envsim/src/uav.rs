@@ -132,6 +132,11 @@ impl TrajectoryPoint {
     }
 }
 
+/// Sentinel depth returned while the depth sensor is blacked out. The
+/// application layer treats any negative depth as "no valid reading" and
+/// falls back to its conservative ladder instead of trusting the value.
+pub const DEPTH_INVALID: f64 = -1.0;
+
 /// The frame-stepped UAV environment simulation.
 pub struct UavSim {
     config: UavSimConfig,
@@ -146,6 +151,16 @@ pub struct UavSim {
     in_collision: bool,
     trajectory: Vec<TrajectoryPoint>,
     tracer: Tracer,
+    /// Sim-time windows `[start, end)` (seconds) in which the depth sensor
+    /// returns [`DEPTH_INVALID`]. Structural (from the mission config):
+    /// rebuilt on resume, not serialized.
+    depth_blackouts: Vec<(f64, f64)>,
+    /// Scheduled accelerometer bias step changes `(at_seconds, delta)`,
+    /// sorted by time. Structural, like the blackout windows.
+    imu_bias_steps: Vec<(f64, Vec3)>,
+    /// How many bias steps have fired (dynamic: serialized so a resumed
+    /// mission does not re-apply steps already folded into the IMU bias).
+    bias_steps_applied: usize,
 }
 
 impl std::fmt::Debug for UavSim {
@@ -188,7 +203,35 @@ impl UavSim {
             in_collision: false,
             trajectory: Vec::new(),
             tracer: Tracer::disabled(),
+            depth_blackouts: Vec::new(),
+            imu_bias_steps: Vec::new(),
+            bias_steps_applied: 0,
         }
+    }
+
+    /// Schedules depth-sensor blackout windows `[start, end)` in simulated
+    /// seconds. While inside a window, `GetDepth` answers
+    /// [`DEPTH_INVALID`] without consuming sensor noise, modeling a sensor
+    /// that stops producing frames rather than one producing garbage.
+    pub fn set_depth_blackouts(&mut self, mut windows: Vec<(f64, f64)>) {
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.depth_blackouts = windows;
+    }
+
+    /// Schedules accelerometer bias step changes `(at_seconds, delta)`.
+    /// Each step fires once, at the first frame boundary at or after its
+    /// time, and folds permanently into the IMU bias.
+    pub fn set_imu_bias_steps(&mut self, mut steps: Vec<(f64, Vec3)>) {
+        steps.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.imu_bias_steps = steps;
+    }
+
+    /// True while the current sim time is inside a depth blackout window.
+    pub fn depth_blacked_out(&self) -> bool {
+        let t = self.time();
+        self.depth_blackouts
+            .iter()
+            .any(|&(start, end)| t >= start && t < end)
     }
 
     /// Installs a tracer; subsequent frames emit `env-frame` spans and
@@ -266,6 +309,15 @@ impl UavSim {
             }
             SimRequest::GetImu => SimResponse::Imu(self.imu.sample(&self.body, self.time())),
             SimRequest::GetDepth => {
+                if self.depth_blacked_out() {
+                    // No noise draw: the blacked-out sensor produces no
+                    // frame at all, so the noise stream position matches a
+                    // sensor that was simply not polled.
+                    return SimResponse::Depth(crate::sensors::DepthSample {
+                        depth: DEPTH_INVALID,
+                        timestamp: self.time(),
+                    });
+                }
                 let s = self.body.state();
                 SimResponse::Depth(self.depth.sample(
                     &self.world,
@@ -320,6 +372,9 @@ impl UavSim {
             in_collision,
             trajectory,
             tracer,
+            depth_blackouts: _,
+            imu_bias_steps: _,
+            bias_steps_applied,
         } = self;
         w.section(Self::SNAP_SECTION);
         body.save_state(w);
@@ -343,6 +398,7 @@ impl UavSim {
         for point in trajectory {
             point.save_state(w);
         }
+        w.usize(*bias_steps_applied);
         tracer.save_state(w);
     }
 
@@ -372,6 +428,7 @@ impl UavSim {
         for _ in 0..count {
             self.trajectory.push(TrajectoryPoint::restore_state(r)?);
         }
+        self.bias_steps_applied = r.usize()?;
         self.tracer.restore_state(r)
     }
 
@@ -394,6 +451,16 @@ impl UavSim {
     }
 
     fn step_one_frame(&mut self) {
+        // Fire any scheduled IMU bias steps due by now. The cursor makes
+        // each step one-shot and lets a resume skip steps already folded
+        // into the serialized bias.
+        while self.bias_steps_applied < self.imu_bias_steps.len()
+            && self.imu_bias_steps[self.bias_steps_applied].0 <= self.time()
+        {
+            let (_, delta) = self.imu_bias_steps[self.bias_steps_applied];
+            self.imu.shift_accel_bias(delta);
+            self.bias_steps_applied += 1;
+        }
         let start_frame = self.frame;
         let collisions_before = self.collision_count;
         let dt = self.config.frames.dt() / self.config.substeps as f64;
@@ -549,6 +616,53 @@ mod tests {
         let mut quiet = sim();
         quiet.step_frames(30);
         assert!(quiet.take_trace_events().is_empty());
+    }
+
+    #[test]
+    fn depth_blackout_returns_the_sentinel_without_noise_draws() {
+        let mut degraded = sim();
+        let mut clean = sim();
+        degraded.set_depth_blackouts(vec![(0.0, 0.5)]);
+        // Inside the window: sentinel, and the noise stream is untouched.
+        match degraded.handle(SimRequest::GetDepth) {
+            SimResponse::Depth(s) => assert_eq!(s.depth, DEPTH_INVALID),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert!(degraded.depth_blacked_out());
+        // Past the window the reading matches a sim that never polled
+        // during the blackout — proof the sentinel consumed no RNG.
+        degraded.step_frames(60);
+        clean.step_frames(60);
+        assert!(!degraded.depth_blacked_out());
+        assert_eq!(
+            degraded.handle(SimRequest::GetDepth),
+            clean.handle(SimRequest::GetDepth)
+        );
+    }
+
+    #[test]
+    fn imu_bias_steps_fire_once_and_resume_does_not_replay_them() {
+        let mut s = sim();
+        s.set_imu_bias_steps(vec![(0.1, Vec3::new(0.4, 0.0, 0.0))]);
+        s.step_frames(30); // 0.5 s — the step has fired.
+        assert_eq!(s.bias_steps_applied, 1);
+
+        // Snapshot, restore into a twin with the same schedule, and step
+        // both: the step must not fire a second time in the twin.
+        let mut w = SnapWriter::new();
+        s.save_state(&mut w);
+        let buf = w.into_bytes();
+        let mut twin = sim();
+        twin.set_imu_bias_steps(vec![(0.1, Vec3::new(0.4, 0.0, 0.0))]);
+        let mut r = SnapReader::new(&buf);
+        twin.restore_state(&mut r).unwrap();
+        assert_eq!(twin.bias_steps_applied, 1);
+        s.step_frames(10);
+        twin.step_frames(10);
+        assert_eq!(
+            s.handle(SimRequest::GetImu),
+            twin.handle(SimRequest::GetImu)
+        );
     }
 
     #[test]

@@ -15,13 +15,22 @@
 //!   two abstract simulator interfaces ([`sync::EnvSide`] /
 //!   [`sync::RtlSide`]), plus a remote RTL adapter that runs the RTL side
 //!   of the protocol over any [`transport::Transport`].
+//! * [`faults`] — a deterministic fault-injection engine: a seeded,
+//!   sim-time-scheduled [`faults::FaultPlan`] and a
+//!   [`faults::FaultyTransport`] decorator that perturbs any transport
+//!   (drops, duplicates, reorders, corruption, stalls, transient
+//!   disconnects) replayably.
 
 #![deny(missing_docs)]
 
+pub mod faults;
 pub mod packet;
 pub mod sync;
 pub mod transport;
 
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultStats, FaultyTransport};
 pub use packet::{DecodeError, Packet};
-pub use sync::{EnvSide, RtlSide, SyncConfig, SyncMode, SyncStats, Synchronizer};
+pub use sync::{
+    EnvSide, RecoveryPolicy, RecoveryStats, RtlSide, SyncConfig, SyncMode, SyncStats, Synchronizer,
+};
 pub use transport::{ChannelTransport, TcpTransport, Transport};

@@ -5,10 +5,20 @@
 //! message" (Section 3.4.1). Two families exist:
 //!
 //! * **synchronization packets** ([`Packet::GrantCycles`],
-//!   [`Packet::CyclesDone`], [`Packet::FramesDone`], [`Packet::Shutdown`])
-//!   — simulator control, invisible to the modeled SoC;
+//!   [`Packet::CyclesDone`], [`Packet::FramesDone`], [`Packet::Resync`],
+//!   [`Packet::Shutdown`]) — simulator control, invisible to the modeled
+//!   SoC;
 //! * **data packets** ([`Packet::Data`]) — sensor and actuator payloads,
 //!   the only packets exposed through the RoSÉ BRIDGE queues.
+//!
+//! Recovery additions (DESIGN.md §4h): data packets carry a sequence
+//! number so either side can deduplicate retransmissions after a
+//! reconnect; grants and completions carry the quantum index so a
+//! re-delivered grant for an already-completed quantum is answered from
+//! the server's retransmit buffer instead of re-running the RTL (which
+//! would diverge the simulated state). [`Packet::Resync`] opens that
+//! handshake: each side announces the next data sequence number it
+//! expects and the last quantum it has completed.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -19,6 +29,7 @@ const TAG_CYCLES_DONE: u8 = 0x02;
 const TAG_FRAMES_DONE: u8 = 0x03;
 const TAG_DATA: u8 = 0x04;
 const TAG_SHUTDOWN: u8 = 0x05;
+const TAG_RESYNC: u8 = 0x06;
 
 /// Header length: 1 tag byte + 4 length bytes.
 pub const HEADER_LEN: usize = 5;
@@ -35,11 +46,17 @@ pub enum Packet {
     GrantCycles {
         /// Cycles granted for the coming synchronization period.
         cycles: u64,
+        /// Index of the quantum this grant opens (0-based). A server that
+        /// already completed this quantum retransmits its buffered results
+        /// instead of re-running the grant.
+        quantum: u64,
     },
     /// Sync: the RTL side reports it has consumed its grant.
     CyclesDone {
         /// Cycles actually executed.
         cycles: u64,
+        /// Index of the quantum this completion closes.
+        quantum: u64,
     },
     /// Sync: the environment side reports it finished its frames.
     FramesDone {
@@ -47,9 +64,27 @@ pub enum Packet {
         frames: u64,
     },
     /// A data packet: serialized sensor/actuator message, opaque here.
-    Data(Vec<u8>),
+    Data {
+        /// Per-direction sequence number (each sender numbers its own
+        /// stream from 0). Receivers drop `seq < expected` as
+        /// retransmitted duplicates.
+        seq: u32,
+        /// The serialized message.
+        payload: Vec<u8>,
+    },
     /// Sync: orderly end of simulation.
     Shutdown,
+    /// Sync: sequence-resync handshake after a reconnect. Each side sends
+    /// one `Resync` announcing what it already holds; the peer then
+    /// retransmits exactly the gap.
+    Resync {
+        /// The next data sequence number the sender expects to receive
+        /// (everything below it has been delivered and processed).
+        expect_rx: u32,
+        /// The last quantum index the sender has fully completed, plus
+        /// one; 0 when none has completed yet.
+        quantum: u64,
+    },
 }
 
 /// A packet decoding failure.
@@ -79,29 +114,39 @@ impl Packet {
     /// Serializes the packet into `buf`.
     pub fn encode(&self, buf: &mut BytesMut) {
         match self {
-            Packet::GrantCycles { cycles } => {
+            Packet::GrantCycles { cycles, quantum } => {
                 buf.put_u8(TAG_GRANT);
-                buf.put_u32_le(8);
+                buf.put_u32_le(16);
                 buf.put_u64_le(*cycles);
+                buf.put_u64_le(*quantum);
             }
-            Packet::CyclesDone { cycles } => {
+            Packet::CyclesDone { cycles, quantum } => {
                 buf.put_u8(TAG_CYCLES_DONE);
-                buf.put_u32_le(8);
+                buf.put_u32_le(16);
                 buf.put_u64_le(*cycles);
+                buf.put_u64_le(*quantum);
             }
             Packet::FramesDone { frames } => {
                 buf.put_u8(TAG_FRAMES_DONE);
                 buf.put_u32_le(8);
                 buf.put_u64_le(*frames);
             }
-            Packet::Data(payload) => {
+            Packet::Data { seq, payload } => {
                 buf.put_u8(TAG_DATA);
-                buf.put_u32_le(payload.len() as u32);
+                // rose-lint: allow(CAST001, payload length is bounded by MAX_PAYLOAD well below u32::MAX)
+                buf.put_u32_le(4 + payload.len() as u32);
+                buf.put_u32_le(*seq);
                 buf.put_slice(payload);
             }
             Packet::Shutdown => {
                 buf.put_u8(TAG_SHUTDOWN);
                 buf.put_u32_le(0);
+            }
+            Packet::Resync { expect_rx, quantum } => {
+                buf.put_u8(TAG_RESYNC);
+                buf.put_u32_le(12);
+                buf.put_u32_le(*expect_rx);
+                buf.put_u64_le(*quantum);
             }
         }
     }
@@ -126,6 +171,7 @@ impl Packet {
             return Err(DecodeError::Incomplete);
         }
         let tag = buf[0];
+        // rose-lint: allow(CAST001, u32 to usize widens on supported targets and len is bounds-checked on the next line)
         let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
         if len > MAX_PAYLOAD {
             return Err(DecodeError::BadLength(len));
@@ -138,8 +184,12 @@ impl Packet {
             }
         };
         match tag {
-            TAG_GRANT | TAG_CYCLES_DONE | TAG_FRAMES_DONE => fixed(8)?,
+            TAG_GRANT | TAG_CYCLES_DONE => fixed(16)?,
+            TAG_FRAMES_DONE => fixed(8)?,
+            TAG_RESYNC => fixed(12)?,
             TAG_SHUTDOWN => fixed(0)?,
+            // A data packet carries at least its 4-byte sequence number.
+            TAG_DATA if len < 4 => return Err(DecodeError::BadLength(len)),
             TAG_DATA => {}
             t => return Err(DecodeError::BadTag(t)),
         }
@@ -151,15 +201,24 @@ impl Packet {
         Ok(match tag {
             TAG_GRANT => Packet::GrantCycles {
                 cycles: payload.get_u64_le(),
+                quantum: payload.get_u64_le(),
             },
             TAG_CYCLES_DONE => Packet::CyclesDone {
                 cycles: payload.get_u64_le(),
+                quantum: payload.get_u64_le(),
             },
             TAG_FRAMES_DONE => Packet::FramesDone {
                 frames: payload.get_u64_le(),
             },
-            TAG_DATA => Packet::Data(payload.to_vec()),
+            TAG_DATA => Packet::Data {
+                seq: payload.get_u32_le(),
+                payload: payload.to_vec(),
+            },
             TAG_SHUTDOWN => Packet::Shutdown,
+            TAG_RESYNC => Packet::Resync {
+                expect_rx: payload.get_u32_le(),
+                quantum: payload.get_u64_le(),
+            },
             // rose-lint: allow(PANIC001, the match above already rejected every tag outside this set via DecodeError::BadTag)
             _ => unreachable!("tag validated above"),
         })
@@ -167,7 +226,7 @@ impl Packet {
 
     /// True for synchronization packets (invisible to the modeled SoC).
     pub fn is_sync(&self) -> bool {
-        !matches!(self, Packet::Data(_))
+        !matches!(self, Packet::Data { .. })
     }
 
     /// The packet kind as a static label (protocol-error reporting).
@@ -176,8 +235,9 @@ impl Packet {
             Packet::GrantCycles { .. } => "GrantCycles",
             Packet::CyclesDone { .. } => "CyclesDone",
             Packet::FramesDone { .. } => "FramesDone",
-            Packet::Data(_) => "Data",
+            Packet::Data { .. } => "Data",
             Packet::Shutdown => "Shutdown",
+            Packet::Resync { .. } => "Resync",
         }
     }
 }
@@ -196,17 +256,37 @@ mod tests {
 
     #[test]
     fn roundtrip_all_variants() {
-        roundtrip(Packet::GrantCycles { cycles: 16_666_666 });
-        roundtrip(Packet::CyclesDone { cycles: 1 });
+        roundtrip(Packet::GrantCycles {
+            cycles: 16_666_666,
+            quantum: 0,
+        });
+        roundtrip(Packet::CyclesDone {
+            cycles: 1,
+            quantum: u64::MAX,
+        });
         roundtrip(Packet::FramesDone { frames: 40 });
-        roundtrip(Packet::Data(vec![1, 2, 3, 4, 5]));
-        roundtrip(Packet::Data(vec![]));
+        roundtrip(Packet::Data {
+            seq: 7,
+            payload: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(Packet::Data {
+            seq: u32::MAX,
+            payload: vec![],
+        });
         roundtrip(Packet::Shutdown);
+        roundtrip(Packet::Resync {
+            expect_rx: 42,
+            quantum: 9,
+        });
     }
 
     #[test]
     fn incomplete_buffers_wait_for_more() {
-        let full = Packet::Data(vec![7; 100]).to_bytes();
+        let full = Packet::Data {
+            seq: 3,
+            payload: vec![7; 100],
+        }
+        .to_bytes();
         for cut in [0, 1, 4, HEADER_LEN, HEADER_LEN + 50] {
             let mut buf = BytesMut::from(&full[..cut]);
             assert_eq!(Packet::decode(&mut buf), Err(DecodeError::Incomplete));
@@ -217,14 +297,31 @@ mod tests {
     #[test]
     fn back_to_back_packets_stream() {
         let mut buf = BytesMut::new();
-        Packet::GrantCycles { cycles: 5 }.encode(&mut buf);
-        Packet::Data(vec![9, 9]).encode(&mut buf);
+        Packet::GrantCycles {
+            cycles: 5,
+            quantum: 2,
+        }
+        .encode(&mut buf);
+        Packet::Data {
+            seq: 0,
+            payload: vec![9, 9],
+        }
+        .encode(&mut buf);
         Packet::Shutdown.encode(&mut buf);
         assert_eq!(
             Packet::decode(&mut buf).unwrap(),
-            Packet::GrantCycles { cycles: 5 }
+            Packet::GrantCycles {
+                cycles: 5,
+                quantum: 2
+            }
         );
-        assert_eq!(Packet::decode(&mut buf).unwrap(), Packet::Data(vec![9, 9]));
+        assert_eq!(
+            Packet::decode(&mut buf).unwrap(),
+            Packet::Data {
+                seq: 0,
+                payload: vec![9, 9]
+            }
+        );
         assert_eq!(Packet::decode(&mut buf).unwrap(), Packet::Shutdown);
         assert_eq!(Packet::decode(&mut buf), Err(DecodeError::Incomplete));
     }
@@ -239,24 +336,104 @@ mod tests {
 
     #[test]
     fn corrupt_length_rejected() {
-        let mut raw = Packet::GrantCycles { cycles: 1 }.to_bytes();
-        raw[1] = 9; // length must be exactly 8
+        let mut raw = Packet::GrantCycles {
+            cycles: 1,
+            quantum: 0,
+        }
+        .to_bytes();
+        raw[1] = 9; // length must be exactly 16
         let mut buf = BytesMut::from(&raw[..]);
         assert_eq!(Packet::decode(&mut buf), Err(DecodeError::BadLength(9)));
         // Oversized data payload length.
-        let mut raw = Packet::Data(vec![]).to_bytes();
+        let mut raw = Packet::Data {
+            seq: 0,
+            payload: vec![],
+        }
+        .to_bytes();
         raw[1..5].copy_from_slice(&(u32::MAX).to_le_bytes());
         let mut buf = BytesMut::from(&raw[..]);
         assert!(matches!(
             Packet::decode(&mut buf),
             Err(DecodeError::BadLength(_))
         ));
+        // A data packet shorter than its sequence number is malformed —
+        // it must be rejected, not decoded with garbage seq.
+        let mut raw = Packet::Data {
+            seq: 0,
+            payload: vec![],
+        }
+        .to_bytes();
+        raw[1..5].copy_from_slice(&3u32.to_le_bytes());
+        let mut buf = BytesMut::from(&raw[..4 + 1]);
+        assert_eq!(Packet::decode(&mut buf), Err(DecodeError::BadLength(3)));
+        // Resync with a truncated length field.
+        let mut raw = Packet::Resync {
+            expect_rx: 1,
+            quantum: 1,
+        }
+        .to_bytes();
+        raw[1] = 4;
+        let mut buf = BytesMut::from(&raw[..]);
+        assert_eq!(Packet::decode(&mut buf), Err(DecodeError::BadLength(4)));
     }
 
     #[test]
     fn sync_vs_data_classification() {
-        assert!(Packet::GrantCycles { cycles: 0 }.is_sync());
+        assert!(Packet::GrantCycles {
+            cycles: 0,
+            quantum: 0
+        }
+        .is_sync());
         assert!(Packet::Shutdown.is_sync());
-        assert!(!Packet::Data(vec![]).is_sync());
+        assert!(Packet::Resync {
+            expect_rx: 0,
+            quantum: 0
+        }
+        .is_sync());
+        assert!(!Packet::Data {
+            seq: 0,
+            payload: vec![]
+        }
+        .is_sync());
+    }
+
+    #[test]
+    fn kind_names_cover_every_variant() {
+        assert_eq!(
+            Packet::GrantCycles {
+                cycles: 0,
+                quantum: 0
+            }
+            .kind_name(),
+            "GrantCycles"
+        );
+        assert_eq!(
+            Packet::Resync {
+                expect_rx: 0,
+                quantum: 0
+            }
+            .kind_name(),
+            "Resync"
+        );
+        assert_eq!(
+            Packet::Data {
+                seq: 0,
+                payload: vec![]
+            }
+            .kind_name(),
+            "Data"
+        );
+    }
+
+    #[test]
+    fn data_wire_length_includes_sequence_number() {
+        let raw = Packet::Data {
+            seq: 1,
+            payload: vec![0xAA; 10],
+        }
+        .to_bytes();
+        assert_eq!(raw.len(), HEADER_LEN + 4 + 10);
+        let len = u32::from_le_bytes([raw[1], raw[2], raw[3], raw[4]]);
+        assert_eq!(len, 14);
     }
 }

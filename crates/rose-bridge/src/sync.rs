@@ -71,6 +71,85 @@ pub trait RtlSide {
     fn take_fault(&mut self) -> Option<TransportError> {
         None
     }
+
+    /// Drains the wall time the endpoint spent recovering from transport
+    /// faults since the last call (retries, reconnects, resyncs). The
+    /// synchronizer attributes it to [`Phase::Recovery`], carved out of
+    /// the grant it interrupted. Default: the endpoint never recovers.
+    fn take_recovery_wall(&mut self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// Bounded-retry recovery configuration for [`RemoteRtl`].
+///
+/// A transient transport error ([`TransportError::is_transient`]) inside
+/// a quantum is retried up to `max_retries` times before the endpoint
+/// latches it. Each attempt accrues a deterministic backoff cost
+/// (`backoff_base << attempt`, capped at `backoff_cap`) counted in
+/// [`RecoveryStats::backoff_units`] — sim-deterministic bookkeeping of
+/// how patient the policy was, independent of host scheduling. Disconnect
+/// errors additionally trigger [`Transport::reconnect`] plus the
+/// sequence-resync handshake before the retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Transient failures absorbed per quantum before latching.
+    pub max_retries: u32,
+    /// Backoff units charged for the first retry.
+    pub backoff_base: u32,
+    /// Ceiling on the per-retry backoff charge.
+    pub backoff_cap: u32,
+}
+
+impl RecoveryPolicy {
+    /// No recovery: the first error latches (the pre-recovery behavior).
+    pub fn disabled() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff_base: 1,
+            backoff_cap: 1,
+        }
+    }
+
+    /// The backoff charge for retry `attempt` (0-based), doubling from
+    /// `backoff_base` up to `backoff_cap`.
+    pub fn backoff_units(&self, attempt: u32) -> u64 {
+        let shifted = u64::from(self.backoff_base) << attempt.min(32);
+        shifted.min(u64::from(self.backoff_cap.max(1)))
+    }
+}
+
+impl Default for RecoveryPolicy {
+    /// Eight retries with 1→16 unit exponential backoff: comfortably
+    /// outlasts any single bounded fault window while still latching a
+    /// genuinely dead peer quickly.
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 8,
+            backoff_base: 1,
+            backoff_cap: 16,
+        }
+    }
+}
+
+/// Host-side recovery telemetry: how much absorbing faults cost. Like
+/// the wall-time stats, this is excluded from snapshots and the
+/// determinism digest (DESIGN.md §4f) — it describes the host's luck,
+/// not the simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Fault episodes fully absorbed (the quantum eventually completed).
+    pub recovered: u64,
+    /// Individual transient failures retried.
+    pub retries: u64,
+    /// Successful [`Transport::reconnect`] calls.
+    pub reconnects: u64,
+    /// Sequence-resync handshakes completed.
+    pub resyncs: u64,
+    /// Episodes that exhausted the policy and latched.
+    pub exhausted: u64,
+    /// Deterministic backoff charge accumulated across all retries.
+    pub backoff_units: u64,
 }
 
 /// How the two simulators execute within one synchronization period.
@@ -521,7 +600,14 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
         self.stats.rtl_wall += rtl_done - quantum_started;
         self.stats.env_wall += env_done - rtl_done;
         self.stats.quantum_wall += env_done - quantum_started;
-        self.profiler.add(Phase::RtlGrant, rtl_done - quantum_started);
+        let recovery = self.rtl.take_recovery_wall();
+        self.profiler.add(
+            Phase::RtlGrant,
+            (rtl_done - quantum_started).saturating_sub(recovery),
+        );
+        if !recovery.is_zero() {
+            self.profiler.add(Phase::Recovery, recovery);
+        }
         self.profiler.add(Phase::EnvStep, env_done - rtl_done);
         self.observe_quantum(rtl_done - quantum_started, env_done - quantum_started);
         let trace_started = Instant::now();
@@ -595,7 +681,12 @@ impl<E: EnvSide, R: RtlSide + Send> Synchronizer<E, R> {
         self.stats.env_wall += env_wall;
         self.stats.rtl_wall += rtl_wall;
         self.stats.quantum_wall += quantum_wall;
-        self.profiler.add(Phase::RtlGrant, rtl_wall);
+        let recovery = self.rtl.take_recovery_wall();
+        self.profiler
+            .add(Phase::RtlGrant, rtl_wall.saturating_sub(recovery));
+        if !recovery.is_zero() {
+            self.profiler.add(Phase::Recovery, recovery);
+        }
         self.profiler.add(Phase::EnvStep, env_wall);
         self.observe_quantum(rtl_wall, quantum_wall);
         let trace_started = Instant::now();
@@ -654,13 +745,30 @@ impl<E: EnvSide, R: RtlSide + Send> Synchronizer<E, R> {
 
 /// An [`RtlSide`] living behind a packet transport (the paper's TCP
 /// deployment: the synchronizer drives a remote FireSim instance).
+///
+/// Since the recovery work (DESIGN.md §4h) this endpoint speaks the
+/// sequenced protocol: every outbound data payload carries a sequence
+/// number and stays buffered until the quantum's `CyclesDone` acknowledges
+/// it, inbound data is deduplicated by sequence number, and transient
+/// transport errors are absorbed by a [`RecoveryPolicy`] (retry →
+/// reconnect → resync) instead of latching immediately.
 #[derive(Debug)]
 pub struct RemoteRtl<T> {
     transport: T,
+    policy: RecoveryPolicy,
     /// Payloads to deliver with the next grant.
     outbox: Vec<Vec<u8>>,
     /// Payloads received from the remote SoC.
     inbox: Vec<Vec<u8>>,
+    /// Sequence number for the next outbound data packet.
+    next_tx_seq: u32,
+    /// Next inbound data sequence number expected (dedupe floor).
+    expect_rx: u32,
+    /// Index of the quantum the next grant opens.
+    quantum: u64,
+    /// This quantum's outbound data, kept for retransmission until the
+    /// `CyclesDone` acknowledgment clears it.
+    unacked: Vec<(u32, Vec<u8>)>,
     halted: bool,
     /// First transport failure, latched until taken.
     fault: Option<TransportError>,
@@ -669,24 +777,56 @@ pub struct RemoteRtl<T> {
     /// after the fault was surfaced still knows the halt is host-side
     /// (and must not persist into a resume).
     fault_halt: bool,
+    /// Host-side recovery telemetry (never snapshotted or digested).
+    recovery: RecoveryStats,
+    /// Wall time spent in recovery since the synchronizer last drained it.
+    recovery_wall: Duration,
 }
 
 impl<T: Transport> RemoteRtl<T> {
-    /// Wraps a connected transport.
+    /// Wraps a connected transport with the default [`RecoveryPolicy`].
     pub fn new(transport: T) -> RemoteRtl<T> {
+        RemoteRtl::with_policy(transport, RecoveryPolicy::default())
+    }
+
+    /// Wraps a connected transport with an explicit recovery policy.
+    pub fn with_policy(transport: T, policy: RecoveryPolicy) -> RemoteRtl<T> {
         RemoteRtl {
             transport,
+            policy,
             outbox: Vec::new(),
             inbox: Vec::new(),
+            next_tx_seq: 0,
+            expect_rx: 0,
+            quantum: 0,
+            unacked: Vec::new(),
             halted: false,
             fault: None,
             fault_halt: false,
+            recovery: RecoveryStats::default(),
+            recovery_wall: Duration::ZERO,
         }
     }
 
     /// The latched transport fault, if the remote side has failed.
     pub fn fault(&self) -> Option<&TransportError> {
         self.fault.as_ref()
+    }
+
+    /// The recovery policy in force.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// The wrapped transport (for reading decorator telemetry such as
+    /// [`FaultStats`](crate::faults::FaultStats) before shutdown).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Host-side recovery telemetry accumulated so far.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
     }
 
     /// Payloads queued towards the remote SoC but not yet sent (bridge TX
@@ -728,11 +868,18 @@ impl<T: Transport> RemoteRtl<T> {
     pub fn save_state(&self, w: &mut SnapWriter) {
         let RemoteRtl {
             transport: _,
+            policy: _,
             outbox,
             inbox,
+            next_tx_seq,
+            expect_rx,
+            quantum,
+            unacked,
             halted,
             fault: _,
             fault_halt,
+            recovery: _,
+            recovery_wall: _,
         } = self;
         w.usize(outbox.len());
         for payload in outbox {
@@ -743,10 +890,19 @@ impl<T: Transport> RemoteRtl<T> {
             w.bytes(payload);
         }
         w.bool(*halted && !fault_halt);
+        w.u32(*next_tx_seq);
+        w.u32(*expect_rx);
+        w.u64(*quantum);
+        w.usize(unacked.len());
+        for (seq, payload) in unacked {
+            w.u32(*seq);
+            w.bytes(payload);
+        }
     }
 
-    /// Restores queue occupancy and the halt latch onto this endpoint's
-    /// (fresh) transport. Any latched fault is cleared.
+    /// Restores queue occupancy, the sequencing position, and the halt
+    /// latch onto this endpoint's (fresh) transport. Any latched fault is
+    /// cleared; the recovery telemetry resets (host-side).
     ///
     /// # Errors
     ///
@@ -763,8 +919,19 @@ impl<T: Transport> RemoteRtl<T> {
             self.inbox.push(r.bytes()?);
         }
         self.halted = r.bool()?;
+        self.next_tx_seq = r.u32()?;
+        self.expect_rx = r.u32()?;
+        self.quantum = r.u64()?;
+        let n_unacked = r.usize()?;
+        self.unacked.clear();
+        for _ in 0..n_unacked {
+            let seq = r.u32()?;
+            self.unacked.push((seq, r.bytes()?));
+        }
         self.fault = None;
         self.fault_halt = false;
+        self.recovery = RecoveryStats::default();
+        self.recovery_wall = Duration::ZERO;
         Ok(())
     }
 
@@ -780,6 +947,137 @@ impl<T: Transport> RemoteRtl<T> {
         }
         self.transport.send(&Packet::Shutdown)
     }
+
+    /// Moves queued payloads into the retransmit buffer, assigning
+    /// sequence numbers. Staged payloads stay buffered (and are re-sent on
+    /// every retry — the server deduplicates) until the quantum's
+    /// `CyclesDone` acknowledges them.
+    fn stage_outbox(&mut self) {
+        for payload in self.outbox.drain(..) {
+            self.unacked.push((self.next_tx_seq, payload));
+            self.next_tx_seq = self.next_tx_seq.wrapping_add(1);
+        }
+    }
+
+    /// One attempt at the current quantum: (re)transmit buffered data,
+    /// send the grant, and wait for the completion. Safe to repeat — the
+    /// server deduplicates data by sequence number and answers a repeated
+    /// grant from its retransmit buffer without re-running the RTL.
+    fn try_quantum(&mut self, cycles: u64) -> Result<QuantumOutcome, TransportError> {
+        for (seq, payload) in &self.unacked {
+            self.transport.send(&Packet::Data {
+                seq: *seq,
+                payload: payload.clone(),
+            })?;
+        }
+        self.transport.send(&Packet::GrantCycles {
+            cycles,
+            quantum: self.quantum,
+        })?;
+        // Wait for completion, collecting data the SoC emitted. A packet
+        // the protocol does not accept here latches a fault like any other
+        // transport failure — the peer is confused or hostile either way,
+        // and a panic would tear down the whole co-simulation instead of
+        // winding the mission down at the next sync boundary.
+        loop {
+            match self.transport.recv()? {
+                Packet::Data { seq, payload } => {
+                    if seq >= self.expect_rx {
+                        self.inbox.push(payload);
+                        self.expect_rx = seq.wrapping_add(1);
+                    }
+                    // seq < expect_rx: a retransmitted duplicate — drop.
+                }
+                Packet::CyclesDone { quantum, .. } => {
+                    if quantum == self.quantum {
+                        return Ok(QuantumOutcome::Done);
+                    }
+                    if quantum > self.quantum {
+                        return Err(TransportError::Protocol {
+                            got: "CyclesDone",
+                            at: "synchronizer",
+                        });
+                    }
+                    // Stale completion retransmitted for an earlier
+                    // quantum — ignore and keep waiting.
+                }
+                Packet::Shutdown => return Ok(QuantumOutcome::Halted),
+                Packet::Resync { .. } => {
+                    // Leftover reply from a handshake a retry repeated —
+                    // stale, ignore.
+                }
+                other => {
+                    return Err(TransportError::Protocol {
+                        got: other.kind_name(),
+                        at: "synchronizer",
+                    })
+                }
+            }
+        }
+    }
+
+    /// The sequence-resync handshake: announce what this side holds, wait
+    /// for the server's counterpart announcement, and prune the
+    /// retransmit buffer down to what the server has not yet seen. Data
+    /// and stale completions already in flight are absorbed along the
+    /// way.
+    fn resync(&mut self) -> Result<(), TransportError> {
+        self.transport.send(&Packet::Resync {
+            expect_rx: self.expect_rx,
+            quantum: self.quantum,
+        })?;
+        loop {
+            match self.transport.recv()? {
+                Packet::Resync {
+                    expect_rx: peer_expect,
+                    quantum: _,
+                } => {
+                    self.unacked.retain(|(seq, _)| *seq >= peer_expect);
+                    return Ok(());
+                }
+                Packet::Data { seq, payload } => {
+                    if seq >= self.expect_rx {
+                        self.inbox.push(payload);
+                        self.expect_rx = seq.wrapping_add(1);
+                    }
+                }
+                Packet::CyclesDone { .. } => {}
+                Packet::Shutdown => {
+                    self.halted = true;
+                    return Ok(());
+                }
+                other => {
+                    return Err(TransportError::Protocol {
+                        got: other.kind_name(),
+                        at: "synchronizer",
+                    })
+                }
+            }
+        }
+    }
+
+    /// The recovery ladder for one transient error: charge the
+    /// deterministic backoff, and on a disconnect attempt reconnect +
+    /// resync. Failures inside the ladder are absorbed — they consume the
+    /// attempt and the outer retry loop decides whether to go again.
+    fn recover(&mut self, error: &TransportError, attempt: u32) {
+        self.recovery.retries += 1;
+        self.recovery.backoff_units += self.policy.backoff_units(attempt);
+        if matches!(error, TransportError::Disconnected) && self.transport.reconnect().is_ok() {
+            self.recovery.reconnects += 1;
+            if self.resync().is_ok() {
+                self.recovery.resyncs += 1;
+            }
+        }
+    }
+}
+
+/// Outcome of one completed quantum attempt.
+enum QuantumOutcome {
+    /// The completion arrived.
+    Done,
+    /// The server shut down mid-quantum.
+    Halted,
 }
 
 impl<T: Transport> RtlSide for RemoteRtl<T> {
@@ -787,46 +1085,40 @@ impl<T: Transport> RtlSide for RemoteRtl<T> {
         if self.halted {
             return;
         }
-        // Send front-to-back, consuming the outbox only as sends succeed:
-        // a mid-loop transport error must not drop the unsent remainder
-        // (the occupancy counters would silently lose packets).
-        while !self.outbox.is_empty() {
-            let packet = Packet::Data(self.outbox.remove(0));
-            if let Err(e) = self.transport.send(&packet) {
-                if let Packet::Data(payload) = packet {
-                    self.outbox.insert(0, payload);
-                }
-                self.latch_fault(e);
-                return;
-            }
-        }
-        if let Err(e) = self.transport.send(&Packet::GrantCycles { cycles }) {
-            self.latch_fault(e);
-            return;
-        }
-        // Wait for completion, collecting data the SoC emitted. A packet
-        // the protocol does not accept here latches a fault like any other
-        // transport failure — the peer is confused or hostile either way,
-        // and a panic would tear down the whole co-simulation instead of
-        // winding the mission down at the next sync boundary.
+        self.stage_outbox();
+        let mut attempt = 0u32;
+        let mut episode: Option<Instant> = None;
         loop {
-            match self.transport.recv() {
-                Ok(Packet::Data(payload)) => self.inbox.push(payload),
-                Ok(Packet::CyclesDone { .. }) => break,
-                Ok(Packet::Shutdown) => {
-                    self.halted = true;
-                    break;
-                }
-                Ok(other) => {
-                    self.latch_fault(TransportError::Protocol {
-                        got: other.kind_name(),
-                        at: "synchronizer",
-                    });
+            match self.try_quantum(cycles) {
+                Ok(outcome) => {
+                    self.quantum += 1;
+                    self.unacked.clear();
+                    if matches!(outcome, QuantumOutcome::Halted) {
+                        self.halted = true;
+                    }
+                    if let Some(t0) = episode {
+                        self.recovery_wall += t0.elapsed();
+                        self.recovery.recovered += 1;
+                    }
                     return;
                 }
                 Err(e) => {
-                    self.latch_fault(e);
-                    return;
+                    let t0 = *episode.get_or_insert_with(Instant::now);
+                    if !e.is_transient() || attempt >= self.policy.max_retries {
+                        self.recovery.exhausted += 1;
+                        self.recovery_wall += t0.elapsed();
+                        // Return staged payloads to the outbox front so
+                        // the occupancy counters stay consistent
+                        // (`data_to_rtl == delivered + pending_tx()`).
+                        let mut requeue: Vec<Vec<u8>> =
+                            self.unacked.drain(..).map(|(_, p)| p).collect();
+                        requeue.append(&mut self.outbox);
+                        self.outbox = requeue;
+                        self.latch_fault(e);
+                        return;
+                    }
+                    self.recover(&e, attempt);
+                    attempt += 1;
                 }
             }
         }
@@ -847,6 +1139,10 @@ impl<T: Transport> RtlSide for RemoteRtl<T> {
     fn take_fault(&mut self) -> Option<TransportError> {
         self.fault.take()
     }
+
+    fn take_recovery_wall(&mut self) -> Duration {
+        std::mem::take(&mut self.recovery_wall)
+    }
 }
 
 /// Serves a local [`RtlSide`] implementation over a transport: the
@@ -854,7 +1150,17 @@ impl<T: Transport> RtlSide for RemoteRtl<T> {
 /// bridge-driver process in the paper's deployment).
 ///
 /// Processes grants until a [`Packet::Shutdown`] arrives or the transport
-/// disconnects.
+/// disconnects. The server speaks the sequenced recovery protocol
+/// (DESIGN.md §4h):
+///
+/// * inbound data is deduplicated by sequence number, so a synchronizer
+///   retrying a quantum can blindly retransmit;
+/// * grants are idempotent — a repeated grant for the just-completed
+///   quantum is answered from the retransmit buffer *without* re-running
+///   the RTL (re-running would diverge the simulated state);
+/// * a [`Packet::Resync`] is answered with the server's own position and
+///   a retransmission of whatever completed-quantum data the client has
+///   not acknowledged seeing.
 ///
 /// # Errors
 ///
@@ -866,15 +1172,85 @@ pub fn serve_rtl<T: Transport, R: RtlSide>(
     transport: &mut T,
     rtl: &mut R,
 ) -> Result<(), TransportError> {
+    // Next inbound data sequence expected (the dedupe floor). A gap means
+    // the link lost a packet in flight; the payload is gone, which the
+    // application layer absorbs — the floor jumps forward so later data
+    // still flows.
+    let mut expect_rx: u32 = 0;
+    // Sequence numbering for server → synchronizer data.
+    let mut next_tx_seq: u32 = 0;
+    // Quanta completed so far == the quantum index the next fresh grant
+    // must carry.
+    let mut completed: u64 = 0;
+    // The last completed quantum's results, buffered for retransmission
+    // until the next fresh grant implicitly acknowledges them.
+    let mut last_results: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut last_cycles: u64 = 0;
     loop {
         match transport.recv() {
-            Ok(Packet::Data(payload)) => rtl.push_data(payload),
-            Ok(Packet::GrantCycles { cycles }) => {
-                rtl.grant_and_run(cycles);
-                for payload in rtl.drain_tx() {
-                    transport.send(&Packet::Data(payload))?;
+            Ok(Packet::Data { seq, payload }) => {
+                if seq >= expect_rx {
+                    rtl.push_data(payload);
+                    expect_rx = seq.wrapping_add(1);
                 }
-                transport.send(&Packet::CyclesDone { cycles })?;
+                // seq < expect_rx: retransmitted duplicate — drop.
+            }
+            Ok(Packet::GrantCycles { cycles, quantum }) => {
+                if quantum.wrapping_add(1) == completed {
+                    // Re-delivered grant for the quantum just completed:
+                    // answer from the buffer, do NOT re-run the RTL.
+                    for (seq, payload) in &last_results {
+                        transport.send(&Packet::Data {
+                            seq: *seq,
+                            payload: payload.clone(),
+                        })?;
+                    }
+                    transport.send(&Packet::CyclesDone {
+                        cycles: last_cycles,
+                        quantum,
+                    })?;
+                } else if quantum == completed {
+                    rtl.grant_and_run(cycles);
+                    last_results.clear();
+                    for payload in rtl.drain_tx() {
+                        last_results.push((next_tx_seq, payload));
+                        next_tx_seq = next_tx_seq.wrapping_add(1);
+                    }
+                    for (seq, payload) in &last_results {
+                        transport.send(&Packet::Data {
+                            seq: *seq,
+                            payload: payload.clone(),
+                        })?;
+                    }
+                    last_cycles = cycles;
+                    transport.send(&Packet::CyclesDone { cycles, quantum })?;
+                    completed += 1;
+                } else {
+                    // A grant from the far past (results no longer
+                    // buffered) or the future (the client skipped ahead):
+                    // the session cannot converge.
+                    return Err(TransportError::Protocol {
+                        got: "GrantCycles",
+                        at: "RTL server",
+                    });
+                }
+            }
+            Ok(Packet::Resync {
+                expect_rx: peer_expect,
+                quantum: _,
+            }) => {
+                transport.send(&Packet::Resync {
+                    expect_rx,
+                    quantum: completed,
+                })?;
+                for (seq, payload) in &last_results {
+                    if *seq >= peer_expect {
+                        transport.send(&Packet::Data {
+                            seq: *seq,
+                            payload: payload.clone(),
+                        })?;
+                    }
+                }
             }
             Ok(Packet::Shutdown) => return Ok(()),
             Ok(other) => {
@@ -1199,9 +1575,9 @@ mod tests {
             for _ in 0..2 {
                 loop {
                     match server.recv().unwrap() {
-                        Packet::Data(_) => delivered += 1,
-                        Packet::GrantCycles { cycles } => {
-                            server.send(&Packet::CyclesDone { cycles }).unwrap();
+                        Packet::Data { .. } => delivered += 1,
+                        Packet::GrantCycles { cycles, quantum } => {
+                            server.send(&Packet::CyclesDone { cycles, quantum }).unwrap();
                             break;
                         }
                         other => panic!("unexpected packet {other:?}"),
@@ -1257,9 +1633,9 @@ mod tests {
                 for _ in 0..grants {
                     loop {
                         match server.recv().unwrap() {
-                            Packet::Data(_) => delivered += 1,
-                            Packet::GrantCycles { cycles } => {
-                                server.send(&Packet::CyclesDone { cycles }).unwrap();
+                            Packet::Data { .. } => delivered += 1,
+                            Packet::GrantCycles { cycles, quantum } => {
+                                server.send(&Packet::CyclesDone { cycles, quantum }).unwrap();
                                 break;
                             }
                             other => panic!("unexpected packet {other:?}"),
@@ -1330,7 +1706,10 @@ mod tests {
             loop {
                 match server.recv() {
                     Ok(Packet::GrantCycles { .. }) => {
-                        let _ = server.send(&Packet::GrantCycles { cycles: 1 });
+                        let _ = server.send(&Packet::GrantCycles {
+                            cycles: 1,
+                            quantum: 0,
+                        });
                         break;
                     }
                     Ok(_) => continue,
@@ -1362,7 +1741,12 @@ mod tests {
     #[test]
     fn serve_rtl_rejects_wrong_role_packets() {
         let (mut client, mut server) = ChannelTransport::pair();
-        client.send(&Packet::CyclesDone { cycles: 7 }).unwrap();
+        client
+            .send(&Packet::CyclesDone {
+                cycles: 7,
+                quantum: 0,
+            })
+            .unwrap();
         let mut rtl = LoopRtl::default();
         let result = serve_rtl(&mut server, &mut rtl);
         assert!(
@@ -1438,6 +1822,94 @@ mod tests {
             remote.take_fault(),
             Some(TransportError::Disconnected)
         ));
+        // The dead peer exhausted the default policy before latching.
+        assert_eq!(remote.recovery_stats().exhausted, 1);
+        assert_eq!(
+            remote.recovery_stats().retries,
+            u64::from(RecoveryPolicy::default().max_retries)
+        );
+    }
+
+    /// The recovery tentpole: a scheduled transient disconnect mid-mission
+    /// is absorbed by the retry/reconnect/resync ladder — the mission
+    /// completes with no latched fault and the endpoints see exactly the
+    /// traffic of a fault-free run.
+    #[test]
+    fn transient_disconnect_recovers_without_latching() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyTransport};
+
+        fn run(plan: FaultPlan) -> (SyncStats, Vec<Vec<u8>>, RecoveryStats) {
+            let (client, mut server) = ChannelTransport::pair();
+            let server_thread = thread::spawn(move || {
+                let mut rtl = LoopRtl::default();
+                serve_rtl(&mut server, &mut rtl).unwrap();
+                rtl
+            });
+            let faulty = FaultyTransport::new(client, plan);
+            let mut sync =
+                Synchronizer::new(config(1), EchoEnv::default(), RemoteRtl::new(faulty));
+            sync.rtl_mut().push_data(vec![1, 2, 3]);
+            let executed = sync
+                .try_run_until(10, |_, _| false)
+                .expect("transient fault must not latch");
+            assert_eq!(executed, 10);
+            let stats = *sync.stats();
+            let recovery = *sync.rtl().recovery_stats();
+            let (env, remote) = sync.into_parts();
+            remote.shutdown().unwrap();
+            server_thread.join().unwrap();
+            (stats, env.seen, recovery)
+        }
+
+        let plan = FaultPlan::new(11).with_event(3, FaultKind::Disconnect { ops: 3 });
+        let (f_stats, f_seen, recovery) = run(plan);
+        assert!(recovery.retries >= 1, "{recovery:?}");
+        assert!(recovery.reconnects >= 1, "{recovery:?}");
+        assert_eq!(recovery.recovered, 1, "{recovery:?}");
+        assert_eq!(recovery.exhausted, 0, "{recovery:?}");
+
+        // Fault-free reference: the recovered run moved identical data.
+        let (c_stats, c_seen, clean_recovery) = run(FaultPlan::new(11));
+        assert_eq!(clean_recovery.retries, 0);
+        assert_eq!(f_stats.data_to_env, c_stats.data_to_env);
+        assert_eq!(f_stats.data_to_rtl, c_stats.data_to_rtl);
+        assert_eq!(f_seen, c_seen, "recovery must be invisible to the env");
+    }
+
+    /// A stall (timeouts without disconnect) is absorbed by plain retries
+    /// — no reconnect needed.
+    #[test]
+    fn stall_recovers_with_retries_alone() {
+        use crate::faults::{FaultKind, FaultPlan, FaultyTransport};
+
+        let (client, mut server) = ChannelTransport::pair();
+        let server_thread = thread::spawn(move || {
+            let mut rtl = LoopRtl::default();
+            serve_rtl(&mut server, &mut rtl).unwrap();
+        });
+        let plan = FaultPlan::new(12).with_event(1, FaultKind::Stall { ops: 2 });
+        let faulty = FaultyTransport::new(client, plan);
+        let mut sync = Synchronizer::new(config(1), EchoEnv::default(), RemoteRtl::new(faulty));
+        sync.rtl_mut().push_data(vec![7]);
+        assert_eq!(sync.try_run_until(5, |_, _| false).unwrap(), 5);
+        let recovery = *sync.rtl().recovery_stats();
+        assert!(recovery.retries >= 2, "{recovery:?}");
+        assert_eq!(recovery.exhausted, 0, "{recovery:?}");
+        assert!(recovery.backoff_units >= 2, "{recovery:?}");
+        let (_, remote) = sync.into_parts();
+        remote.shutdown().unwrap();
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_to_the_cap() {
+        let policy = RecoveryPolicy::default();
+        assert_eq!(policy.backoff_units(0), 1);
+        assert_eq!(policy.backoff_units(1), 2);
+        assert_eq!(policy.backoff_units(3), 8);
+        assert_eq!(policy.backoff_units(10), 16, "capped");
+        let off = RecoveryPolicy::disabled();
+        assert_eq!(off.max_retries, 0);
     }
 }
 

@@ -4,12 +4,33 @@
 //! listener" (Section 3.4.1). [`TcpTransport`] reproduces that deployment;
 //! [`ChannelTransport`] provides the same interface in-process for
 //! single-machine co-simulation and tests.
+//!
+//! # Short reads and short writes
+//!
+//! TCP is a byte stream: a single `read` may return any prefix of a
+//! packet, and a naive `write` may accept only part of one. Both ends of
+//! the framing here are already robust to that, by construction rather
+//! than by retry loops bolted on top:
+//!
+//! * **Writes** go through [`std::io::Write::write_all`] on a blocking
+//!   socket, which loops internally until every byte of the encoded
+//!   packet is accepted or an error surfaces — a short write can never
+//!   silently truncate a frame.
+//! * **Reads** append whatever bytes arrive into a [`BytesMut`] inbox;
+//!   [`Packet::decode`] returns [`DecodeError::Incomplete`] (leaving the
+//!   buffer untouched) until a full frame is present. A packet dribbled
+//!   in one byte at a time therefore decodes exactly once, when its last
+//!   byte lands — see the `tcp_survives_dribbling_peer` test.
+//!
+//! This buffering also means packet boundaries need not align with read
+//! boundaries: one read may complete several packets, and `pop` drains
+//! them in order.
 
 use crate::packet::{DecodeError, Packet};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 
 /// A transport error.
 #[derive(Debug)]
@@ -30,6 +51,19 @@ pub enum TransportError {
         /// Where it arrived (which endpoint rejected it).
         at: &'static str,
     },
+}
+
+impl TransportError {
+    /// True when a retry or reconnect could plausibly clear the error:
+    /// disconnects and I/O errors are transient from the recovery layer's
+    /// point of view, while decode and protocol errors indicate a peer
+    /// speaking the wrong language — retrying those would loop forever.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Disconnected | TransportError::Io(_)
+        )
+    }
 }
 
 impl std::fmt::Display for TransportError {
@@ -75,6 +109,20 @@ pub trait Transport {
     ///
     /// Returns an error on disconnect or corrupt input.
     fn recv(&mut self) -> Result<Packet, TransportError>;
+
+    /// Attempts to re-establish a dropped connection, discarding any
+    /// partially received frame. Transports that cannot reconnect (the
+    /// default, and e.g. the accept side of a TCP session) report
+    /// [`TransportError::Disconnected`]; the recovery layer then exhausts
+    /// its policy and latches.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Disconnected`] when reconnection is unsupported,
+    /// or any I/O error from the reconnection attempt.
+    fn reconnect(&mut self) -> Result<(), TransportError> {
+        Err(TransportError::Disconnected)
+    }
 }
 
 /// An in-process transport over crossbeam channels.
@@ -114,6 +162,14 @@ impl Transport for ChannelTransport {
     fn recv(&mut self) -> Result<Packet, TransportError> {
         self.rx.recv().map_err(|_| TransportError::Disconnected)
     }
+
+    /// Channels hold both directions open for as long as both endpoints
+    /// exist, so "reconnecting" is a no-op: if the peer endpoint is alive
+    /// the session simply continues, and if it was dropped the next
+    /// operation reports [`TransportError::Disconnected`] again.
+    fn reconnect(&mut self) -> Result<(), TransportError> {
+        Ok(())
+    }
 }
 
 /// A framed TCP transport.
@@ -121,10 +177,14 @@ impl Transport for ChannelTransport {
 pub struct TcpTransport {
     stream: TcpStream,
     inbox: BytesMut,
+    /// The address originally dialed, kept so `reconnect` can re-dial.
+    /// `None` on the accept side — a server cannot call its client back.
+    peer: Option<SocketAddr>,
 }
 
 impl TcpTransport {
-    /// Connects to a listening peer.
+    /// Connects to a listening peer. The resolved address is remembered so
+    /// [`Transport::reconnect`] can re-dial after a drop.
     ///
     /// # Errors
     ///
@@ -132,7 +192,10 @@ impl TcpTransport {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpTransport> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpTransport::from_stream(stream))
+        let peer = stream.peer_addr().ok();
+        let mut t = TcpTransport::from_stream(stream);
+        t.peer = peer;
+        Ok(t)
     }
 
     /// Accepts one connection from `listener`.
@@ -151,6 +214,7 @@ impl TcpTransport {
         TcpTransport {
             stream,
             inbox: BytesMut::with_capacity(64 * 1024),
+            peer: None,
         }
     }
 
@@ -183,6 +247,8 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn send(&mut self, packet: &Packet) -> Result<(), TransportError> {
         self.stream.set_nonblocking(false)?;
+        // write_all loops over short writes internally: the whole frame is
+        // on the wire or an error surfaces — never a truncated packet.
         self.stream.write_all(&packet.to_bytes())?;
         Ok(())
     }
@@ -203,6 +269,25 @@ impl Transport for TcpTransport {
             self.pump(true)?;
         }
     }
+
+    /// Re-dials the peer this transport originally connected to. Any bytes
+    /// of a partially received frame are discarded — the sequence-resync
+    /// handshake recovers whole packets, so a torn frame from the dead
+    /// connection must not prefix the new one. The accept side has no
+    /// address to dial and reports [`TransportError::Disconnected`].
+    fn reconnect(&mut self) -> Result<(), TransportError> {
+        let Some(peer) = self.peer else {
+            return Err(TransportError::Disconnected);
+        };
+        let stream = TcpStream::connect(peer)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        let stale = self.inbox.len();
+        if stale > 0 {
+            self.inbox.advance(stale);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -210,14 +295,35 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
     use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn channel_roundtrip() {
         let (mut a, mut b) = ChannelTransport::pair();
-        a.send(&Packet::GrantCycles { cycles: 10 }).unwrap();
-        a.send(&Packet::Data(vec![1, 2])).unwrap();
-        assert_eq!(b.recv().unwrap(), Packet::GrantCycles { cycles: 10 });
-        assert_eq!(b.try_recv().unwrap(), Some(Packet::Data(vec![1, 2])));
+        a.send(&Packet::GrantCycles {
+            cycles: 10,
+            quantum: 0,
+        })
+        .unwrap();
+        a.send(&Packet::Data {
+            seq: 0,
+            payload: vec![1, 2],
+        })
+        .unwrap();
+        assert_eq!(
+            b.recv().unwrap(),
+            Packet::GrantCycles {
+                cycles: 10,
+                quantum: 0
+            }
+        );
+        assert_eq!(
+            b.try_recv().unwrap(),
+            Some(Packet::Data {
+                seq: 0,
+                payload: vec![1, 2]
+            })
+        );
         assert_eq!(b.try_recv().unwrap(), None);
         b.send(&Packet::Shutdown).unwrap();
         assert_eq!(a.recv().unwrap(), Packet::Shutdown);
@@ -234,6 +340,14 @@ mod tests {
     }
 
     #[test]
+    fn channel_reconnect_is_noop() {
+        let (mut a, mut b) = ChannelTransport::pair();
+        a.reconnect().unwrap();
+        a.send(&Packet::Shutdown).unwrap();
+        assert_eq!(b.recv().unwrap(), Packet::Shutdown);
+    }
+
+    #[test]
     fn tcp_roundtrip() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -247,8 +361,14 @@ mod tests {
         });
         let mut client = TcpTransport::connect(addr).unwrap();
         let packets = [
-            Packet::GrantCycles { cycles: 123 },
-            Packet::Data((0..1000u32).flat_map(|i| i.to_le_bytes()).collect()),
+            Packet::GrantCycles {
+                cycles: 123,
+                quantum: 1,
+            },
+            Packet::Data {
+                seq: 5,
+                payload: (0..1000u32).flat_map(|i| i.to_le_bytes()).collect(),
+            },
             Packet::Shutdown,
         ];
         for p in &packets {
@@ -280,5 +400,136 @@ mod tests {
             thread::yield_now();
         }
         assert_eq!(got, Some(Packet::FramesDone { frames: 1 }));
+    }
+
+    /// The short-read satellite: a peer that dribbles packets onto the
+    /// wire one byte at a time (every read returns a 1-byte prefix) must
+    /// still deliver every packet intact and in order — the BytesMut inbox
+    /// plus `DecodeError::Incomplete` reassembles frames regardless of how
+    /// the stream fragments them.
+    #[test]
+    fn tcp_survives_dribbling_peer() {
+        let packets = vec![
+            Packet::GrantCycles {
+                cycles: 99,
+                quantum: 3,
+            },
+            Packet::Data {
+                seq: 0,
+                payload: (0..=255u8).collect(),
+            },
+            Packet::Data {
+                seq: 1,
+                payload: vec![],
+            },
+            Packet::Resync {
+                expect_rx: 2,
+                quantum: 4,
+            },
+            Packet::Shutdown,
+        ];
+        let wire: Vec<u8> = packets.iter().flat_map(|p| p.to_bytes()).collect();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dribbler = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.set_nodelay(true).unwrap();
+            for (i, byte) in wire.iter().enumerate() {
+                stream.write_all(std::slice::from_ref(byte)).unwrap();
+                stream.flush().unwrap();
+                // Yield frequently (and occasionally sleep) so the reader
+                // genuinely observes partial frames rather than one
+                // coalesced segment.
+                if i % 7 == 0 {
+                    thread::sleep(Duration::from_micros(50));
+                } else {
+                    thread::yield_now();
+                }
+            }
+        });
+
+        let mut client = TcpTransport::connect(addr).unwrap();
+        for expected in &packets {
+            assert_eq!(&client.recv().unwrap(), expected);
+        }
+        dribbler.join().unwrap();
+    }
+
+    /// The client side of a TCP session can reconnect after the server
+    /// drops it; the accept side (no dialable address) cannot.
+    #[test]
+    fn tcp_reconnect_redials_the_original_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            // First session: accept, then hang up without a word.
+            let first = TcpTransport::accept(&listener).unwrap();
+            drop(first);
+            // Second session: serve one echo.
+            let mut second = TcpTransport::accept(&listener).unwrap();
+            let p = second.recv().unwrap();
+            second.send(&p).unwrap();
+            second
+        });
+
+        let mut client = TcpTransport::connect(addr).unwrap();
+        // Wait for the hangup to surface, then re-dial.
+        loop {
+            match client.recv() {
+                Err(TransportError::Disconnected) | Err(TransportError::Io(_)) => break,
+                Ok(_) => continue,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        client.reconnect().unwrap();
+        let probe = Packet::Data {
+            seq: 9,
+            payload: vec![1, 2, 3],
+        };
+        client.send(&probe).unwrap();
+        assert_eq!(client.recv().unwrap(), probe);
+        let mut accept_side = server.join().unwrap();
+        assert!(matches!(
+            accept_side.reconnect(),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    /// The `Protocol` variant and every `Display` arm format as the
+    /// postmortem pipeline expects (the strings land verbatim in fault
+    /// reports, so they are contract, not cosmetics).
+    #[test]
+    fn transport_error_display_formats() {
+        assert_eq!(TransportError::Disconnected.to_string(), "peer disconnected");
+        assert_eq!(
+            TransportError::Decode(DecodeError::BadTag(0x7f)).to_string(),
+            "decode error: unknown packet tag 0x7f"
+        );
+        let io_err = TransportError::Io(io::Error::new(io::ErrorKind::TimedOut, "stalled"));
+        assert_eq!(io_err.to_string(), "io error: stalled");
+        let proto = TransportError::Protocol {
+            got: "GrantCycles",
+            at: "synchronizer",
+        };
+        assert_eq!(
+            proto.to_string(),
+            "protocol error: unexpected GrantCycles packet at synchronizer"
+        );
+    }
+
+    /// Transient classification: recovery retries disconnects and I/O
+    /// errors but never decode/protocol errors (a peer speaking garbage
+    /// will not improve on retry).
+    #[test]
+    fn transient_classification_guides_recovery() {
+        assert!(TransportError::Disconnected.is_transient());
+        assert!(TransportError::Io(io::Error::new(io::ErrorKind::TimedOut, "x")).is_transient());
+        assert!(!TransportError::Decode(DecodeError::BadTag(0)).is_transient());
+        assert!(!TransportError::Protocol {
+            got: "Data",
+            at: "RTL server"
+        }
+        .is_transient());
     }
 }

@@ -11,3 +11,11 @@
 pub fn seeded_transport_recv(frame: &[u8]) -> u8 {
     seeded_decode_helper(frame)
 }
+
+// Seeded FAULT001 violation: both statements drop the send's Result on
+// the floor, so a transport error here would bypass retry/resync and
+// fault latching entirely.
+pub fn seeded_fire_and_forget(t: &mut SeededTransport, p: &Packet) {
+    t.send(p);
+    let _ = t.send(p);
+}

@@ -18,6 +18,7 @@
 //! | DET003   | W    | nondeterminism sink reachable from a sim entry point    |
 //! | PANIC001 | L    | `unwrap`/`expect`/`panic!` on transport/bridge paths    |
 //! | PANIC002 | W    | panic site reachable from the transport/bridge path     |
+//! | FAULT001 | L    | discarded `Transport::send` result on the fault path    |
 //! | TRACE001 | L    | unpaired `span_begin*`/`span_end*` calls                |
 //! | CAST001  | L    | truncating `as` casts in cycle arithmetic               |
 //! | SNAP001  | L    | `..` rest patterns in `save_state`/`restore_state`      |

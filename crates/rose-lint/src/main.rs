@@ -69,6 +69,7 @@ fn main() -> ExitCode {
         println!("  DET001   wall-clock reads (Instant::now / SystemTime) in simulation logic");
         println!("  DET002   HashMap/HashSet in simulation crates (use BTreeMap/BTreeSet)");
         println!("  PANIC001 unwrap/expect/panic! on transport/bridge/synchronizer paths");
+        println!("  FAULT001 discarded Transport::send result on the bridge fault path");
         println!("  TRACE001 unpaired span_begin*/span_end* calls within a function");
         println!("  CAST001  truncating `as` casts in cycle arithmetic (widen via u128)");
         println!("  SNAP001  `..` rest patterns in save_state/restore_state (snapshot hidden state)");

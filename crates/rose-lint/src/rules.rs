@@ -35,6 +35,8 @@ const CYCLE_ARITH_FILES: &[&str] = &[
     "crates/sim-core/src/cycles.rs",
     "crates/trace/src/clock.rs",
     "crates/rose-bridge/src/sync.rs",
+    "crates/rose-bridge/src/packet.rs",
+    "crates/rose-bridge/src/faults.rs",
 ];
 
 /// Paths where a panic is a protocol hole, not a programming aid: the
@@ -54,8 +56,8 @@ const TRUNCATING_TARGETS: &[&str] = &[
 /// workspace call graph; ANN001/ANN002 run in the [`crate::lint_files`]
 /// pipeline itself.
 pub const ALL_RULES: &[&str] = &[
-    "DET001", "DET002", "DET003", "PANIC001", "PANIC002", "TRACE001", "CAST001", "SNAP001",
-    "SNAP002", "ANN001", "ANN002", "PROF001",
+    "DET001", "DET002", "DET003", "PANIC001", "PANIC002", "FAULT001", "TRACE001", "CAST001",
+    "SNAP001", "SNAP002", "ANN001", "ANN002", "PROF001",
 ];
 
 /// The one module allowed to read host clocks directly: everything else
@@ -83,7 +85,7 @@ pub fn applies_to(rule: &str, rel_path: &str, all_rules: bool) -> bool {
         "DET001" | "TRACE001" | "ANN001" => true,
         "PROF001" => rel_path != PROFILER_MODULE,
         "DET002" => path_in(rel_path, SIM_CRATES),
-        "PANIC001" => path_in(rel_path, FAULT_PATH_PREFIXES),
+        "PANIC001" | "FAULT001" => path_in(rel_path, FAULT_PATH_PREFIXES),
         "CAST001" => CYCLE_ARITH_FILES.contains(&rel_path),
         "SNAP001" => path_in(rel_path, SIM_CRATES) || path_in(rel_path, &["crates/trace/src"]),
         _ => false,
@@ -184,6 +186,9 @@ pub fn run_rules(rel_path: &str, lexed: &Lexed, all_rules: bool) -> Vec<Finding>
     }
     if applies_to("PANIC001", rel_path, all_rules) {
         findings.extend(panic001(tokens, &live));
+    }
+    if applies_to("FAULT001", rel_path, all_rules) {
+        findings.extend(fault001(tokens, &live));
     }
     if applies_to("TRACE001", rel_path, all_rules) {
         findings.extend(trace001(tokens, &live));
@@ -537,6 +542,83 @@ fn snap001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
     out
 }
 
+/// FAULT001 — no discarded `send` results on the fault path. Since the
+/// fault-injection engine landed, every `Transport::send` can legitimately
+/// fail mid-mission; a call whose `Result` is dropped (a bare statement or
+/// a `let _ =` binding) silently swallows the very error the recovery
+/// machinery exists to absorb. Propagate with `?`, match on the error, or
+/// annotate the deliberate fire-and-forget with a reasoned allow.
+fn fault001(tokens: &[Token], live: &dyn Fn(usize) -> bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !live(i) {
+            continue;
+        }
+        // A method *call*: `.send(` — definitions (`fn send(`) and free
+        // functions have no receiver dot and never match.
+        if tokens[i].tok != Tok::Punct(".")
+            || tokens.get(i + 1).and_then(ident) != Some("send")
+            || tokens.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct("("))
+        {
+            continue;
+        }
+        // Walk to the call's matching close paren.
+        let mut depth = 0usize;
+        let mut j = i + 2;
+        let close = loop {
+            match tokens.get(j).map(|t| &t.tok) {
+                None => break None,
+                Some(Tok::Punct("(")) => depth += 1,
+                Some(Tok::Punct(")")) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break Some(j);
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(close) = close else { continue };
+        // Anything but a statement-terminating `;` consumes the Result:
+        // `?` propagates, `.` chains, a match/if scrutinee or tail
+        // expression hands it to the caller, `,` makes it an arm value.
+        if tokens.get(close + 1).map(|t| &t.tok) != Some(&Tok::Punct(";")) {
+            continue;
+        }
+        // Walk back to the statement start and inspect the binding. A
+        // `return`/`break` statement forwards the value; `let name =`
+        // keeps it alive; `let _ =` and a bare expression statement drop
+        // it on the floor.
+        let mut s = i;
+        while s > 0
+            && !matches!(
+                &tokens[s - 1].tok,
+                Tok::Punct(";") | Tok::Punct("{") | Tok::Punct("}")
+            )
+        {
+            s -= 1;
+        }
+        let discarded = match ident(&tokens[s]) {
+            Some("let") => tokens.get(s + 1).and_then(ident) == Some("_"),
+            Some("return") | Some("break") => false,
+            _ => true,
+        };
+        if discarded {
+            out.push(Finding {
+                rule: "FAULT001",
+                line: tokens[i + 1].line,
+                message: "discarded Transport::send result on the fault path: a \
+                          dropped error here bypasses retry/resync and latching; \
+                          propagate with `?`, handle the Err, or annotate with \
+                          // rose-lint: allow(FAULT001, reason)"
+                    .to_owned(),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +724,57 @@ mod tests {
         assert!(findings("PANIC001", "let unwrap = 3; f(unwrap);").is_empty());
     }
 
+    // FAULT001 -------------------------------------------------------------
+
+    #[test]
+    fn fault001_flags_discarded_send_results() {
+        // A bare statement drops the Result on the floor...
+        let found = findings("FAULT001", "fn f(t: &mut T) {\n t.send(&p);\n}");
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("discarded"));
+        // ...and `let _ =` is the same discard with extra ceremony.
+        assert_eq!(
+            findings("FAULT001", "let _ = self.transport.send(&packet);").len(),
+            1
+        );
+        // Nested call arguments don't confuse the paren walk.
+        assert_eq!(
+            findings("FAULT001", "self.inner.send(&frame(seq, payload.clone()));").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn fault001_accepts_consumed_results() {
+        // `?` propagates, which is the sanctioned pattern.
+        assert!(findings("FAULT001", "self.transport.send(&packet)?;").is_empty());
+        // Binding keeps the Result alive for later handling.
+        assert!(findings("FAULT001", "let r = t.send(&p);\nr?;").is_empty());
+        // Matching on it is handling it.
+        assert!(findings(
+            "FAULT001",
+            "match t.send(&p) {\n Ok(()) => {}\n Err(e) => latch(e),\n}"
+        )
+        .is_empty());
+        // Tail position hands the Result to the caller.
+        assert!(findings(
+            "FAULT001",
+            "fn shutdown(mut self) -> Result<(), E> {\n self.transport.send(&Packet::Shutdown)\n}"
+        )
+        .is_empty());
+        assert!(findings("FAULT001", "return t.send(&p);").is_empty());
+        // Chaining consumes it (whatever the chain then does is visible).
+        assert!(findings("FAULT001", "t.send(&p).unwrap();").is_empty());
+        // A channel send in a test is out of scope via the test mask.
+        assert!(findings(
+            "FAULT001",
+            "#[cfg(test)]\nmod tests {\n fn t() { tx.send(&p); }\n}"
+        )
+        .is_empty());
+        // `send` as a field or definition, not a method call.
+        assert!(findings("FAULT001", "fn send(&mut self, p: &Packet) {}").is_empty());
+    }
+
     // TRACE001 -------------------------------------------------------------
 
     #[test]
@@ -723,6 +856,9 @@ mod tests {
         assert!(applies_to("PANIC001", "crates/rose-bridge/src/sync.rs", false));
         assert!(applies_to("PANIC001", "crates/socsim/src/bridge.rs", false));
         assert!(!applies_to("PANIC001", "crates/socsim/src/soc.rs", false));
+        assert!(applies_to("FAULT001", "crates/rose-bridge/src/faults.rs", false));
+        assert!(applies_to("FAULT001", "crates/socsim/src/bridge.rs", false));
+        assert!(!applies_to("FAULT001", "crates/rose/src/mission.rs", false));
         assert!(applies_to("CAST001", "crates/sim-core/src/cycles.rs", false));
         assert!(!applies_to("CAST001", "crates/sim-core/src/rng.rs", false));
         assert!(applies_to("CAST001", "crates/sim-core/src/rng.rs", true));

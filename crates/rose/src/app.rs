@@ -159,6 +159,18 @@ pub struct AppMetrics {
     /// bucket (slack clamps to 0). Host telemetry (DESIGN.md §4f): not
     /// snapshotted, so a resumed branch observes only its own suffix.
     pub slack_cycles: rose_trace::LogHistogram,
+    /// Control-loop iterations flown without a valid depth reading (the
+    /// sensor answered the blackout sentinel).
+    pub degraded_depth: u64,
+    /// Commands computed by the classical fallback controller instead of
+    /// the DNN (deadline-pressure rung of the degradation ladder).
+    pub classical_commands: u64,
+    /// Set once the degraded-iteration streak crossed the mission's abort
+    /// threshold; the mission loop winds down cleanly when it sees this.
+    pub abort_requested: bool,
+    /// Sensor responses the SoC's RX watchdog gave up on (lost in flight
+    /// on a lossy transport); each one degrades that iteration.
+    pub lost_responses: u64,
 }
 
 impl AppMetrics {
@@ -179,6 +191,10 @@ impl rose_trace::MetricSource for AppMetrics {
         registry.set_counter("app.fast_inferences", self.fast_inferences);
         registry.set_counter("app.deadline_switches", self.deadline_switches);
         registry.set_counter("app.deadline_misses", self.deadline_misses);
+        registry.set_counter("app.degraded_depth", self.degraded_depth);
+        registry.set_counter("app.classical_commands", self.classical_commands);
+        registry.set_counter("app.lost_responses", self.lost_responses);
+        registry.gauge("app.abort_requested", self.abort_requested as u8 as f64);
         registry.gauge("app.mean_latency_cycles", self.mean_latency_cycles());
         for &lat in &self.latencies_cycles {
             registry.observe("app.latency_cycles", lat as f64);
@@ -200,6 +216,10 @@ impl AppMetrics {
             // only its own suffix; the shared prefix is recovered by
             // `MetricRegistry::delta_since` when merging forks.
             slack_cycles: _,
+            degraded_depth,
+            classical_commands,
+            abort_requested,
+            lost_responses,
         } = self;
         w.u64(*inferences);
         w.usize(latencies_cycles.len());
@@ -210,6 +230,10 @@ impl AppMetrics {
         w.u64(*fast_inferences);
         w.u64(*deadline_switches);
         w.u64(*deadline_misses);
+        w.u64(*degraded_depth);
+        w.u64(*classical_commands);
+        w.bool(*abort_requested);
+        w.u64(*lost_responses);
     }
 
     fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
@@ -224,6 +248,10 @@ impl AppMetrics {
         self.deadline_switches = r.u64()?;
         self.deadline_misses = r.u64()?;
         self.slack_cycles = rose_trace::LogHistogram::new();
+        self.degraded_depth = r.u64()?;
+        self.classical_commands = r.u64()?;
+        self.abort_requested = r.bool()?;
+        self.lost_responses = r.u64()?;
         Ok(())
     }
 }
@@ -288,6 +316,17 @@ pub struct TrailNavApp {
     /// Control-loop deadline budget in SoC cycles (0 = no budget; never
     /// counts a miss). Structural config, like `gains`.
     deadline_budget_cycles: u64,
+    /// True while the deadline-pressure rung of the degradation ladder is
+    /// engaged: the next iteration skips the DNN and computes a classical
+    /// proportional command instead.
+    use_classical: bool,
+    /// True when this iteration's depth reading was the blackout sentinel.
+    depth_degraded: bool,
+    /// Consecutive degraded iterations (invalid depth or deadline miss).
+    degraded_streak: u64,
+    /// Degraded-streak length that requests a clean mission abort
+    /// (0 = never abort). Structural config.
+    abort_after_degraded: u64,
     metrics: Arc<Mutex<AppMetrics>>,
 }
 
@@ -355,6 +394,10 @@ impl TrailNavApp {
             last_trail: TrailInfo::default(),
             request_cycle: 0,
             deadline_budget_cycles: 0,
+            use_classical: false,
+            depth_degraded: false,
+            degraded_streak: 0,
+            abort_after_degraded: 0,
             metrics: Arc::clone(&metrics),
         };
         (app, metrics)
@@ -376,6 +419,14 @@ impl TrailNavApp {
         } else {
             0
         };
+    }
+
+    /// Arms the abort rung of the degradation ladder: after `streak`
+    /// consecutive degraded control-loop iterations (blacked-out depth or
+    /// missed deadline), [`AppMetrics::abort_requested`] is raised and the
+    /// mission loop winds down cleanly. 0 (the default) never aborts.
+    pub fn set_abort_after_degraded(&mut self, streak: u64) {
+        self.abort_after_degraded = streak;
     }
 
     fn plan_for(&self, model: DnnModel) -> &[TargetOp] {
@@ -436,6 +487,22 @@ impl TrailNavApp {
             altitude: self.altitude,
         }
     }
+
+    /// The classical fallback controller: proportional corrections from
+    /// the trail estimate alone, no perception. Crude, but cheap enough to
+    /// always meet the deadline — the middle rung of the degradation
+    /// ladder when DNN inference misses its budget.
+    fn classical_command(&self, trail: TrailInfo) -> AppMessage {
+        let yaw_rate = -self.gains.beta_yaw * trail.heading_error;
+        let lateral =
+            -self.gains.beta_lateral * (trail.lateral_offset / trail.half_width.max(0.1));
+        AppMessage::Command {
+            forward: self.velocity,
+            lateral,
+            yaw_rate,
+            altitude: self.altitude,
+        }
+    }
 }
 
 impl TargetProgram for TrailNavApp {
@@ -448,6 +515,15 @@ impl TargetProgram for TrailNavApp {
                 }
                 State::AwaitDepth => {
                     match ctx.take_message() {
+                        // The RX watchdog gave up: the depth response was
+                        // lost in flight. Degrade exactly like a blackout
+                        // reading and move on.
+                        None if ctx.rx_timed_out() => {
+                            self.metrics.lock().lost_responses += 1;
+                            self.depth_degraded = true;
+                            self.current_model = self.select_model(0.0);
+                            self.state = State::RequestImage;
+                        }
                         None => return TargetOp::Recv,
                         Some(bytes) => {
                             let depth = match AppMessage::decode(&bytes) {
@@ -455,7 +531,17 @@ impl TargetProgram for TrailNavApp {
                                 // Unexpected payload: be conservative.
                                 _ => 0.0,
                             };
-                            self.current_model = self.select_model(depth);
+                            if depth < 0.0 {
+                                // Blackout sentinel: no valid reading.
+                                // Dead-reckon conservatively — assume an
+                                // imminent obstacle so the fast network
+                                // (argmax policy) takes over.
+                                self.metrics.lock().degraded_depth += 1;
+                                self.depth_degraded = true;
+                                self.current_model = self.select_model(0.0);
+                            } else {
+                                self.current_model = self.select_model(depth);
+                            }
                             self.state = State::RequestImage;
                         }
                     }
@@ -466,12 +552,30 @@ impl TargetProgram for TrailNavApp {
                     return TargetOp::Send(AppMessage::ImageRequest.encode());
                 }
                 State::AwaitImage => match ctx.take_message() {
+                    // Lost perception: no fresh trail estimate this
+                    // iteration. Fly the classical rung on the stale
+                    // estimate rather than wedging behind a response that
+                    // will never arrive.
+                    None if ctx.rx_timed_out() => {
+                        self.metrics.lock().lost_responses += 1;
+                        self.depth_degraded = true;
+                        self.use_classical = true;
+                        self.queue = VecDeque::new();
+                        self.state = State::Inference;
+                    }
                     None => return TargetOp::Recv,
                     Some(bytes) => {
                         if let Ok(AppMessage::Image { trail, .. }) = AppMessage::decode(&bytes) {
                             self.last_trail = trail;
                         }
-                        self.queue = self.plan_for(self.current_model).iter().cloned().collect();
+                        // The classical rung skips the DNN entirely: the
+                        // queue stays empty and the iteration falls
+                        // straight through to the command.
+                        self.queue = if self.use_classical {
+                            VecDeque::new()
+                        } else {
+                            self.plan_for(self.current_model).iter().cloned().collect()
+                        };
                         self.state = State::Inference;
                     }
                 },
@@ -480,26 +584,59 @@ impl TargetProgram for TrailNavApp {
                     None => self.state = State::SendCommand,
                 },
                 State::SendCommand => {
-                    let command = self.command_from(self.last_trail);
+                    let command = if self.use_classical {
+                        self.classical_command(self.last_trail)
+                    } else {
+                        self.command_from(self.last_trail)
+                    };
+                    let latency = ctx.now().saturating_sub(self.request_cycle);
+                    let mut missed = false;
                     {
-                        let latency = ctx.now().saturating_sub(self.request_cycle);
                         let mut m = self.metrics.lock();
-                        m.inferences += 1;
                         m.commands += 1;
-                        m.latencies_cycles.push(latency);
-                        if self.use_argmax {
-                            m.fast_inferences += 1;
+                        if self.use_classical {
+                            m.classical_commands += 1;
+                        } else {
+                            m.inferences += 1;
+                            m.latencies_cycles.push(latency);
+                            if self.use_argmax {
+                                m.fast_inferences += 1;
+                            }
                         }
                         if self.deadline_budget_cycles > 0 {
                             let slack = self.deadline_budget_cycles.saturating_sub(latency);
                             if latency > self.deadline_budget_cycles {
                                 m.deadline_misses += 1;
+                                missed = true;
                             }
                             // A miss clamps to 0 slack → the histogram's
                             // underflow bucket.
                             m.slack_cycles.record_u64(slack);
                         }
+                        // The degradation ladder: a degraded iteration
+                        // (no valid depth, or a missed deadline) extends
+                        // the streak; a clean one resets it. A sustained
+                        // streak requests a clean abort.
+                        let ladder_armed = self.abort_after_degraded > 0;
+                        if self.depth_degraded || (missed && ladder_armed) {
+                            self.degraded_streak += 1;
+                            if self.abort_after_degraded > 0
+                                && self.degraded_streak >= self.abort_after_degraded
+                            {
+                                m.abort_requested = true;
+                            }
+                        } else {
+                            self.degraded_streak = 0;
+                        }
                     }
+                    // Deadline pressure engages the classical rung for the
+                    // next iteration; a clean iteration releases it. The
+                    // rung only arms together with the abort threshold —
+                    // with the ladder disarmed, a deadline budget stays
+                    // pure host-side accounting and must not perturb the
+                    // flown trajectory.
+                    self.use_classical = missed && self.abort_after_degraded > 0;
+                    self.depth_degraded = false;
                     self.state = match self.choice {
                         ControllerChoice::Static(_) => State::RequestImage,
                         ControllerChoice::Dynamic { .. } => State::RequestDepth,
@@ -538,6 +675,10 @@ impl TargetProgram for TrailNavApp {
             last_trail,
             request_cycle,
             deadline_budget_cycles: _,
+            use_classical,
+            depth_degraded,
+            degraded_streak,
+            abort_after_degraded: _,
             metrics,
         } = self;
         for (_, head) in heads {
@@ -557,6 +698,9 @@ impl TargetProgram for TrailNavApp {
         w.bool(*use_argmax);
         last_trail.save_state(w);
         w.u64(*request_cycle);
+        w.bool(*use_classical);
+        w.bool(*depth_degraded);
+        w.u64(*degraded_streak);
         metrics.lock().save_state(w);
     }
 
@@ -589,6 +733,9 @@ impl TargetProgram for TrailNavApp {
         self.use_argmax = r.bool()?;
         self.last_trail = TrailInfo::restore_state(r)?;
         self.request_cycle = r.u64()?;
+        self.use_classical = r.bool()?;
+        self.depth_degraded = r.bool()?;
+        self.degraded_streak = r.u64()?;
         self.metrics.lock().restore_state(r)
     }
 }
@@ -603,8 +750,18 @@ mod tests {
         choice: ControllerChoice,
         grants: u32,
     ) -> (Arc<Mutex<AppMetrics>>, u64) {
+        run_app_with_depth(choice, grants, 30.0, 0)
+    }
+
+    fn run_app_with_depth(
+        choice: ControllerChoice,
+        grants: u32,
+        depth: f64,
+        abort_after: u64,
+    ) -> (Arc<Mutex<AppMetrics>>, u64) {
         let rng = SimRng::new(1);
-        let (app, metrics) = TrailNavApp::new(choice, true, 3.0, &rng);
+        let (mut app, metrics) = TrailNavApp::new(choice, true, 3.0, &rng);
+        app.set_abort_after_degraded(abort_after);
         let mut soc = Soc::new(SocConfig::config_a(), Box::new(app));
         let mut commands = 0;
         for _ in 0..grants {
@@ -627,7 +784,7 @@ mod tests {
                     }
                     AppMessage::DepthRequest => {
                         soc.bridge_mut()
-                            .host_push_rx(AppMessage::Depth { depth: 30.0 }.encode());
+                            .host_push_rx(AppMessage::Depth { depth }.encode());
                     }
                     AppMessage::Command { .. } => commands += 1,
                     other => panic!("unexpected {other:?}"),
@@ -664,6 +821,64 @@ mod tests {
         // network.
         assert_eq!(m.fast_inferences, 0);
         assert_eq!(m.deadline_switches, 0);
+    }
+
+    #[test]
+    fn blacked_out_depth_degrades_to_the_fast_network() {
+        let (metrics, commands) = run_app_with_depth(
+            ControllerChoice::dynamic_default(),
+            40,
+            rose_envsim::uav::DEPTH_INVALID,
+            0,
+        );
+        let m = metrics.lock();
+        assert!(m.inferences >= 1);
+        // Every iteration saw the sentinel: all degraded, all flown on the
+        // conservative fast network, and the loop kept closing. (The depth
+        // count may lead by one in-flight iteration.)
+        assert!(m.degraded_depth >= m.inferences);
+        assert_eq!(m.fast_inferences, m.inferences);
+        assert!(commands >= 1);
+        // No abort threshold armed: the mission never requests one.
+        assert!(!m.abort_requested);
+    }
+
+    #[test]
+    fn sustained_degradation_requests_a_clean_abort() {
+        let (metrics, _) = run_app_with_depth(
+            ControllerChoice::dynamic_default(),
+            40,
+            rose_envsim::uav::DEPTH_INVALID,
+            2,
+        );
+        let m = metrics.lock();
+        assert!(m.degraded_depth >= 2, "degraded {}", m.degraded_depth);
+        assert!(m.abort_requested, "streak of {} degraded", m.degraded_depth);
+    }
+
+    #[test]
+    fn classical_fallback_commands_are_corrective() {
+        let rng = SimRng::new(5);
+        let (app, _) =
+            TrailNavApp::new(ControllerChoice::Static(DnnModel::ResNet14), true, 3.0, &rng);
+        // Far left of the trail, pointing left: corrections must be
+        // rightward (negative lateral, negative yaw) — same sign contract
+        // as the DNN path, but deterministic.
+        let trail = TrailInfo {
+            lateral_offset: 1.2,
+            heading_error: 0.35,
+            half_width: 1.6,
+            progress: 0.0,
+        };
+        match app.classical_command(trail) {
+            AppMessage::Command {
+                lateral, yaw_rate, ..
+            } => {
+                assert!(lateral < 0.0, "lateral {lateral}");
+                assert!(yaw_rate < 0.0, "yaw {yaw_rate}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -65,6 +65,9 @@ pub struct FusionMetrics {
     pub image_branch_runs: u64,
     /// Steps that ran only the IMU branch.
     pub imu_only_runs: u64,
+    /// Steps that flew on the previous inertial estimate because the IMU
+    /// reply failed to decode (sensor-loss dead-reckoning).
+    pub dead_reckoned: u64,
     /// Per-step latency in cycles (request → command).
     pub latencies_cycles: Vec<u64>,
 }
@@ -184,6 +187,10 @@ impl TargetProgram for FusionApp {
                     Some(bytes) => {
                         if let Ok(AppMessage::Imu { gyro, .. }) = AppMessage::decode(&bytes) {
                             self.last_gyro_z = gyro[2];
+                        } else {
+                            // Sensor loss: dead-reckon on the previous
+                            // inertial estimate rather than latch up.
+                            self.metrics.lock().dead_reckoned += 1;
                         }
                         // Data-dependent branch decision: fresh vision on
                         // aggressive maneuvers or stale features.
@@ -328,6 +335,8 @@ mod tests {
         let r = run_fusion_mission(&mission, FusionConfig::default());
         assert!(r.completed, "fusion controller should finish the tunnel");
         assert!(r.metrics.steps > 50);
+        // A healthy transport never forces a dead-reckoned step.
+        assert_eq!(r.metrics.dead_reckoned, 0);
         // In a straight tunnel, most steps are IMU-only (low angular
         // rates): the image branch runs at a reduced, irregular rate.
         let rate = r.metrics.image_branch_rate();

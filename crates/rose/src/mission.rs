@@ -12,13 +12,19 @@ use crate::app::{AppMetrics, ControlGains, ControllerChoice, TrailNavApp};
 use crate::envside::CoSimEnv;
 use crate::rtlside::SocRtl;
 use parking_lot::Mutex;
-use rose_bridge::sync::{SyncConfig, SyncMode, SyncStats, SyncTelemetry, Synchronizer};
+use rose_bridge::faults::{FaultPlan, FaultStats, FaultyTransport};
+use rose_bridge::sync::{
+    serve_rtl, RecoveryPolicy, RecoveryStats, RemoteRtl, SyncConfig, SyncMode, SyncStats,
+    SyncTelemetry, Synchronizer,
+};
+use rose_bridge::transport::ChannelTransport;
 use rose_dnn::DnnModel;
 use rose_envsim::uav::{TrajectoryPoint, UavSim, UavSimConfig};
 use rose_envsim::world::{World, WorldKind};
 use rose_flightctl::SimpleFlight;
 use rose_sim_core::cycles::{FrameSpec, SyncRatio};
 use rose_sim_core::csv::CsvLog;
+use rose_sim_core::math::Vec3;
 use rose_sim_core::rng::SimRng;
 use rose_socsim::soc::SocStats;
 use rose_socsim::{Soc, SocConfig};
@@ -67,6 +73,20 @@ pub struct MissionConfig {
     /// postmortem), and the remaining slack feeds
     /// [`AppMetrics::slack_cycles`]. 0 disables the check.
     pub deadline_budget_s: f64,
+    /// Depth-sensor blackout windows `[start, end)` in simulated seconds:
+    /// inside a window the sensor answers the invalid-reading sentinel
+    /// and the application degrades to its conservative ladder.
+    pub depth_blackouts: Vec<(f64, f64)>,
+    /// Scheduled accelerometer bias step changes `(at_seconds, delta)`,
+    /// modeling in-flight IMU degradation.
+    pub imu_bias_steps: Vec<(f64, Vec3)>,
+    /// Transport-fault recovery policy for deployments that place the RTL
+    /// behind a transport ([`run_mission_with_faults`]).
+    pub recovery: RecoveryPolicy,
+    /// Consecutive degraded control-loop iterations (invalid depth or
+    /// missed deadline) after which the application requests a clean
+    /// mission abort. 0 (the default) never aborts.
+    pub degraded_abort_streak: u64,
 }
 
 impl Default for MissionConfig {
@@ -85,6 +105,10 @@ impl Default for MissionConfig {
             gains: ControlGains::default(),
             trace: false,
             deadline_budget_s: 0.0,
+            depth_blackouts: Vec::new(),
+            imu_bias_steps: Vec::new(),
+            recovery: RecoveryPolicy::default(),
+            degraded_abort_streak: 0,
         }
     }
 }
@@ -114,6 +138,10 @@ impl MissionConfig {
             gains,
             trace,
             deadline_budget_s,
+            depth_blackouts,
+            imu_bias_steps,
+            recovery,
+            degraded_abort_streak,
         } = self;
         soc.save_state(w);
         controller.save_state(w);
@@ -131,6 +159,20 @@ impl MissionConfig {
         gains.save_state(w);
         w.bool(*trace);
         w.f64(*deadline_budget_s);
+        w.usize(depth_blackouts.len());
+        for &(start, end) in depth_blackouts {
+            w.f64(start);
+            w.f64(end);
+        }
+        w.usize(imu_bias_steps.len());
+        for (at, delta) in imu_bias_steps {
+            w.f64(*at);
+            delta.save_state(w);
+        }
+        w.u32(recovery.max_retries);
+        w.u32(recovery.backoff_base);
+        w.u32(recovery.backoff_cap);
+        w.u64(*degraded_abort_streak);
     }
 
     /// Restores a configuration from a snapshot stream.
@@ -159,6 +201,28 @@ impl MissionConfig {
                 })
             }
         };
+        let seed = r.u64()?;
+        let max_sim_seconds = r.f64()?;
+        let gains = ControlGains::restore_state(r)?;
+        let trace = r.bool()?;
+        let deadline_budget_s = r.f64()?;
+        let n_blackouts = r.usize()?;
+        let mut depth_blackouts = Vec::with_capacity(n_blackouts.min(1 << 16));
+        for _ in 0..n_blackouts {
+            let start = r.f64()?;
+            depth_blackouts.push((start, r.f64()?));
+        }
+        let n_steps = r.usize()?;
+        let mut imu_bias_steps = Vec::with_capacity(n_steps.min(1 << 16));
+        for _ in 0..n_steps {
+            let at = r.f64()?;
+            imu_bias_steps.push((at, Vec3::restore_state(r)?));
+        }
+        let recovery = RecoveryPolicy {
+            max_retries: r.u32()?,
+            backoff_base: r.u32()?,
+            backoff_cap: r.u32()?,
+        };
         Ok(MissionConfig {
             soc,
             controller,
@@ -168,11 +232,15 @@ impl MissionConfig {
             frame_hz,
             frames_per_sync,
             sync_mode,
-            seed: r.u64()?,
-            max_sim_seconds: r.f64()?,
-            gains: ControlGains::restore_state(r)?,
-            trace: r.bool()?,
-            deadline_budget_s: r.f64()?,
+            seed,
+            max_sim_seconds,
+            gains,
+            trace,
+            deadline_budget_s,
+            depth_blackouts,
+            imu_bias_steps,
+            recovery,
+            degraded_abort_streak: r.u64()?,
         })
     }
 
@@ -326,7 +394,11 @@ pub fn drive_mission(
             queue_depth: after.data_to_env - before.data_to_env,
             env_wall_us: (after.env_wall - before.env_wall).as_secs_f64() * 1e6,
             rtl_wall_us: (after.rtl_wall - before.rtl_wall).as_secs_f64() * 1e6,
+            // In-process RTL: no transport, so never a fault and never
+            // recovery work.
             fault: false,
+            recovery_retries: 0,
+            recovery_us: 0.0,
         };
         // Attribution reads the SoC tracer's buffer non-destructively;
         // with tracing off this is an empty slice and the recorder costs
@@ -334,6 +406,15 @@ pub fn drive_mission(
         let recent = sync.rtl().soc().tracer().events();
         if let Some(pm) = flight.observe(sample, recent) {
             postmortems.push(pm);
+        }
+        if metrics.lock().abort_requested {
+            // The degradation ladder's last rung: wind down cleanly with
+            // a postmortem instead of flying blind to the timeout.
+            postmortems.push(flight.postmortem(
+                "mission-abort",
+                "sustained degraded-control streak",
+            ));
+            break;
         }
     }
     postmortems
@@ -370,9 +451,17 @@ pub fn mission_parts(
     );
     app.set_gains(config.gains);
     app.set_deadline_budget(config.deadline_budget_s, config.soc.clock.hz() as f64);
+    app.set_abort_after_degraded(config.degraded_abort_streak);
     let (env, rtl, sync_config) = mission_parts_with_program(config, Box::new(app));
     (env, rtl, sync_config, metrics)
 }
+
+/// Synchronization quanta a blocked sensor read waits before the SoC's RX
+/// watchdog declares the response lost and lets the application degrade
+/// (DESIGN.md §4h). Responses arrive within one quantum on a healthy
+/// link; the margin keeps transient stall/reorder jitter from tripping
+/// the watchdog spuriously.
+pub const RX_TIMEOUT_QUANTA: u64 = 8;
 
 /// Constructs the mission's endpoints around an arbitrary target program
 /// (e.g. the classical MPC workload of [`crate::mpc`]).
@@ -391,6 +480,10 @@ pub fn mission_parts_with_program(
     };
     let autopilot = SimpleFlight::default_for(uav_config.quad);
     let mut sim = UavSim::new(uav_config, world, Box::new(autopilot), &rng);
+    // Sensor-degradation schedules are structural config: they are
+    // re-applied here on every build, including a snapshot resume.
+    sim.set_depth_blackouts(config.depth_blackouts.clone());
+    sim.set_imu_bias_steps(config.imu_bias_steps.clone());
     if config.trace {
         sim.set_tracer(Tracer::enabled(config.trace_clock()));
     }
@@ -404,6 +497,11 @@ pub fn mission_parts_with_program(
 
     // Companion-computer SoC running the target application.
     let mut soc = Soc::new(config.soc.clone(), program);
+    // Arm the blocked-Recv watchdog so a sensor response lost on a lossy
+    // transport degrades the iteration instead of wedging the control
+    // loop forever. Healthy links answer within one quantum, so the
+    // window is unreachable on clean runs (behavior-neutral).
+    soc.set_rx_timeout_quanta(RX_TIMEOUT_QUANTA);
     if config.trace {
         soc.set_tracer(Tracer::enabled(config.trace_clock()));
     }
@@ -458,6 +556,33 @@ pub fn finish_report(
     let profile = sync.profiler().clone();
     let sync_events = sync.take_trace_events();
     let (env, rtl) = sync.into_parts();
+    assemble_report(
+        config,
+        sync_stats,
+        sync_telemetry,
+        profile,
+        sync_events,
+        env,
+        rtl,
+        metrics,
+    )
+}
+
+/// Assembles a [`MissionReport`] from a run's disassembled pieces. Shared
+/// by the in-process topology ([`finish_report`]) and the remote one
+/// ([`run_mission_with_faults`]), where the RTL endpoint comes back from
+/// the server thread rather than out of the synchronizer.
+#[allow(clippy::too_many_arguments)]
+fn assemble_report(
+    config: &MissionConfig,
+    sync_stats: SyncStats,
+    sync_telemetry: SyncTelemetry,
+    profile: Profiler,
+    sync_events: Vec<rose_trace::TraceEvent>,
+    env: CoSimEnv,
+    rtl: SocRtl,
+    metrics: &Mutex<AppMetrics>,
+) -> MissionReport {
     let mut sim = env.into_sim();
     let mut soc = rtl.into_soc();
     let soc_stats = soc.stats();
@@ -503,6 +628,128 @@ pub fn finish_report(
         postmortems: Vec::new(),
         flight_occupancy: 0,
         flight_capacity: 0,
+    }
+}
+
+/// Outcome of a mission flown over a fault-injected transport.
+#[derive(Debug, Clone)]
+pub struct FaultedMissionReport {
+    /// The ordinary mission report (trajectory, counters, postmortems).
+    pub report: MissionReport,
+    /// What the injector actually fired, by kind.
+    pub fault_stats: FaultStats,
+    /// What absorbing the faults cost the synchronizer.
+    pub recovery: RecoveryStats,
+    /// The latched fault's message, when the recovery policy was
+    /// exhausted and the mission wound down early.
+    pub latched: Option<String>,
+    /// True when the application's degradation ladder requested a clean
+    /// abort.
+    pub aborted: bool,
+}
+
+/// Runs a mission with the RTL endpoint behind an in-process transport
+/// wrapped in a deterministic fault injector — the full robustness
+/// topology: sequenced packets, the recovery policy of
+/// [`MissionConfig::recovery`], and the application's degradation ladder,
+/// all under one seeded [`FaultPlan`].
+///
+/// The SoC runs on a server thread driven by [`serve_rtl`]; the
+/// synchronizer drives it through [`RemoteRtl`] over a
+/// [`FaultyTransport`]-wrapped [`ChannelTransport`]. Transient faults are
+/// absorbed (and attributed to [`rose_trace::Phase::Recovery`]); only an
+/// exhausted policy latches, winding the mission down at the last
+/// completed sync boundary.
+pub fn run_mission_with_faults(config: &MissionConfig, plan: FaultPlan) -> FaultedMissionReport {
+    use rose_trace::Phase;
+
+    let (env, rtl, sync_config, metrics) = mission_parts(config);
+    let (client, mut server) = ChannelTransport::pair();
+    let server_thread = std::thread::spawn(move || {
+        let mut rtl = rtl;
+        let result = serve_rtl(&mut server, &mut rtl);
+        (rtl, result)
+    });
+    let remote = RemoteRtl::with_policy(FaultyTransport::new(client, plan), config.recovery);
+    let mut sync = Synchronizer::new(sync_config, env, remote);
+    if config.trace {
+        sync.set_tracer(Tracer::enabled(config.trace_clock()));
+    }
+
+    let max_syncs = config.max_syncs();
+    let mut flight = FlightRecorder::default();
+    let mut postmortems = Vec::new();
+    let mut aborted = false;
+    while sync.stats().syncs < max_syncs {
+        let before = *sync.stats();
+        let recovery_before = sync.profiler().total(Phase::Recovery);
+        let ran = sync.run_until(1, |env, _| env.sim().mission_complete());
+        let after = *sync.stats();
+        let sample = FlightSample {
+            sync: after.syncs,
+            sim_time_s: sync.env().sim().time(),
+            collisions: sync.env().sim().collision_count() as u64,
+            deadline_misses: metrics.lock().deadline_misses,
+            queue_depth: after.data_to_env - before.data_to_env,
+            env_wall_us: (after.env_wall - before.env_wall).as_secs_f64() * 1e6,
+            rtl_wall_us: (after.rtl_wall - before.rtl_wall).as_secs_f64() * 1e6,
+            fault: sync.rtl().fault().is_some(),
+            recovery_retries: sync.rtl().recovery_stats().retries,
+            recovery_us: (sync.profiler().total(Phase::Recovery) - recovery_before)
+                .as_secs_f64()
+                * 1e6,
+        };
+        // The remote SoC's tracer buffer lives on the server thread, so
+        // attribution here sees only boundary samples.
+        if let Some(pm) = flight.observe(sample, &[]) {
+            postmortems.push(pm);
+        }
+        if ran == 0 {
+            break; // complete, halted, or latched fault
+        }
+        if metrics.lock().abort_requested {
+            aborted = true;
+            postmortems.push(flight.postmortem(
+                "mission-abort",
+                "sustained degraded-control streak",
+            ));
+            break;
+        }
+    }
+
+    let sync_stats = *sync.stats();
+    let sync_telemetry = sync.telemetry().clone();
+    let profile = sync.profiler().clone();
+    let sync_events = sync.take_trace_events();
+    let (env, remote) = sync.into_parts();
+    let fault_stats = *remote.transport().stats();
+    let recovery = *remote.recovery_stats();
+    let latched = remote.fault().map(|e| e.to_string());
+    // Orderly shutdown when healthy; on a latched fault this returns the
+    // error and dropping the transport disconnects the server instead.
+    let _ = remote.shutdown();
+    let (rtl, served) = server_thread.join().expect("rtl server thread");
+    debug_assert!(served.is_ok(), "server exited with {served:?}");
+
+    let mut report = assemble_report(
+        config,
+        sync_stats,
+        sync_telemetry,
+        profile,
+        sync_events,
+        env,
+        rtl,
+        &metrics,
+    );
+    report.postmortems = postmortems;
+    report.flight_occupancy = flight.occupancy();
+    report.flight_capacity = flight.capacity();
+    FaultedMissionReport {
+        report,
+        fault_stats,
+        recovery,
+        latched,
+        aborted,
     }
 }
 

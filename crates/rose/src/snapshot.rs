@@ -171,7 +171,10 @@ impl MissionSnapshot {
     /// Newest format version this build reads and writes. Version 2 added
     /// [`MissionConfig::deadline_budget_s`] and the app's cumulative
     /// deadline-miss counter to the embedded config/metrics codecs.
-    pub const VERSION: u16 = 2;
+    /// Version 3 added the robustness state: sensor-degradation schedules
+    /// and the recovery policy in the config codec, the environment's
+    /// bias-step cursor, and the app's degradation-ladder state.
+    pub const VERSION: u16 = 3;
 
     /// The raw snapshot bytes (e.g. for writing to a checkpoint file).
     pub fn bytes(&self) -> &[u8] {

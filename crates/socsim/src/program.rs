@@ -113,6 +113,7 @@ pub struct ProgContext {
     now: u64,
     inbox: Option<Vec<u8>>,
     rx_available: bool,
+    rx_timed_out: bool,
 }
 
 impl ProgContext {
@@ -122,12 +123,19 @@ impl ProgContext {
             now,
             inbox,
             rx_available: false,
+            rx_timed_out: false,
         }
     }
 
     /// Sets the RX-queue status flag (builder style, used by the SoC).
     pub fn with_rx_available(mut self, available: bool) -> ProgContext {
         self.rx_available = available;
+        self
+    }
+
+    /// Sets the RX-timeout flag (builder style, used by the SoC).
+    pub fn with_rx_timed_out(mut self, timed_out: bool) -> ProgContext {
+        self.rx_timed_out = timed_out;
         self
     }
 
@@ -140,6 +148,16 @@ impl ProgContext {
     /// register a scheduler polls before committing to a blocking read).
     pub fn rx_available(&self) -> bool {
         self.rx_available
+    }
+
+    /// True when the SoC's bounded RX stall gave up on a blocked
+    /// [`TargetOp::Recv`]: the expected message did not arrive within the
+    /// configured window (a watchdog interrupt on the blocking read). A
+    /// robust program treats this as a lost message and degrades instead
+    /// of re-blocking; a program that re-issues the `Recv` simply re-arms
+    /// the watchdog.
+    pub fn rx_timed_out(&self) -> bool {
+        self.rx_timed_out
     }
 
     /// Takes the message delivered by a completed [`TargetOp::Recv`].

@@ -169,6 +169,15 @@ pub struct Soc {
     /// Recv / backpressured Send).
     blocked: Option<TargetOp>,
     inbox: Option<Vec<u8>>,
+    /// Watchdog window for a blocked `Recv`, in quanta with an empty RX
+    /// queue. 0 (the default) blocks forever — the pre-robustness
+    /// behavior. Structural, like `config`.
+    rx_timeout_quanta: u64,
+    /// Consecutive quanta the current blocked `Recv` has seen an empty
+    /// queue.
+    rx_blocked_quanta: u64,
+    /// A timeout fired and has not yet been delivered to the program.
+    rx_timeout_fired: bool,
     // Cost caches are BTreeMaps (DET002): nothing iterates them today, but
     // a HashMap here would make any future drain/debug-dump depend on
     // SipHash's per-process key, silently breaking run-to-run determinism.
@@ -209,6 +218,9 @@ impl Soc {
             pending: None,
             blocked: None,
             inbox: None,
+            rx_timeout_quanta: 0,
+            rx_blocked_quanta: 0,
+            rx_timeout_fired: false,
             kernel_costs: BTreeMap::new(),
             conv_costs: BTreeMap::new(),
             matmul_costs: BTreeMap::new(),
@@ -254,6 +266,17 @@ impl Soc {
         &mut self.bridge
     }
 
+    /// Arms the blocked-`Recv` watchdog: after `quanta` consecutive
+    /// synchronization quanta with an empty RX queue, the program is
+    /// re-polled with [`ProgContext::rx_timed_out`] set instead of idling
+    /// forever behind a message that was lost in flight. 0 disables the
+    /// watchdog (the default). Responses normally arrive within one
+    /// quantum, so any window of a few quanta is unreachable on a healthy
+    /// link and this is behavior-neutral for clean runs.
+    pub fn set_rx_timeout_quanta(&mut self, quanta: u64) {
+        self.rx_timeout_quanta = quanta;
+    }
+
     /// Distribution of per-issue kernel and accelerator-tile cycle costs.
     pub fn kernel_cycles_hist(&self) -> &LogHistogram {
         &self.kernel_cycles_hist
@@ -295,6 +318,11 @@ impl Soc {
             pending,
             blocked,
             inbox,
+            // Structural, like `config`: re-armed by the mission driver on
+            // resume.
+            rx_timeout_quanta: _,
+            rx_blocked_quanta,
+            rx_timeout_fired,
             kernel_costs,
             conv_costs,
             matmul_costs,
@@ -307,6 +335,8 @@ impl Soc {
         w.u64(*now);
         w.u64(*idle_cycles);
         w.bool(*halted);
+        w.u64(*rx_blocked_quanta);
+        w.bool(*rx_timeout_fired);
         match pending {
             None => w.u8(0),
             Some(p) => {
@@ -366,6 +396,8 @@ impl Soc {
         self.now = r.u64()?;
         self.idle_cycles = r.u64()?;
         self.halted = r.bool()?;
+        self.rx_blocked_quanta = r.u64()?;
+        self.rx_timeout_fired = r.bool()?;
         self.pending = match r.u8()? {
             0 => None,
             1 => Some(Pending::restore_state(r)?),
@@ -612,7 +644,8 @@ impl Soc {
                 Some(op) => op,
                 None => {
                     let mut ctx = ProgContext::new(self.now, self.inbox.take())
-                        .with_rx_available(self.bridge.target_rx_depth() > 0);
+                        .with_rx_available(self.bridge.target_rx_depth() > 0)
+                        .with_rx_timed_out(std::mem::take(&mut self.rx_timeout_fired));
                     self.program.next_op(&mut ctx)
                 }
             };
@@ -662,6 +695,7 @@ impl Soc {
                 }
                 TargetOp::Recv => match self.bridge.target_try_recv() {
                     Some(msg) => {
+                        self.rx_blocked_quanta = 0;
                         let cost = self.mmio_cost(msg.len());
                         if self.tracer.is_enabled() {
                             self.tracer.complete_cycles(
@@ -679,6 +713,17 @@ impl Soc {
                         });
                     }
                     None => {
+                        self.rx_blocked_quanta += 1;
+                        if self.rx_timeout_quanta > 0
+                            && self.rx_blocked_quanta >= self.rx_timeout_quanta
+                        {
+                            // Watchdog: the message is presumed lost. Hand
+                            // the decision back to the program with the
+                            // timeout visible instead of re-blocking.
+                            self.rx_blocked_quanta = 0;
+                            self.rx_timeout_fired = true;
+                            continue;
+                        }
                         // Nothing can arrive within this quantum: the SoC
                         // spins on the empty-queue status register until
                         // the next synchronization (Section 5.5).

@@ -49,6 +49,11 @@ pub struct FlightSample {
     pub rtl_wall_us: f64,
     /// True once a transport fault has latched.
     pub fault: bool,
+    /// Cumulative transport-recovery retries (grant re-attempts absorbed
+    /// by the synchronizer's recovery policy).
+    pub recovery_retries: u64,
+    /// Host wall time spent in fault recovery this quantum, µs.
+    pub recovery_us: f64,
 }
 
 /// A per-trigger span-time attribution: where simulated time went in the
@@ -222,8 +227,8 @@ impl FlightRecorder {
             }
             let _ = write!(
                 out,
-                "{{\"sync\":{},\"collisions\":{},\"deadline_misses\":{},\"queue_depth\":{},\"fault\":{},",
-                s.sync, s.collisions, s.deadline_misses, s.queue_depth, s.fault
+                "{{\"sync\":{},\"collisions\":{},\"deadline_misses\":{},\"queue_depth\":{},\"fault\":{},\"recovery_retries\":{},",
+                s.sync, s.collisions, s.deadline_misses, s.queue_depth, s.fault, s.recovery_retries
             );
             out.push_str("\"sim_time_s\":");
             write_f64(&mut out, s.sim_time_s);
@@ -231,6 +236,8 @@ impl FlightRecorder {
             write_f64(&mut out, s.env_wall_us);
             out.push_str(",\"rtl_wall_us\":");
             write_f64(&mut out, s.rtl_wall_us);
+            out.push_str(",\"recovery_us\":");
+            write_f64(&mut out, s.recovery_us);
             out.push('}');
         }
         out.push_str("],\"recent_events\":[");
@@ -392,6 +399,10 @@ mod tests {
         );
         let ring = parsed.get("ring").and_then(|r| r.as_array()).unwrap();
         assert_eq!(ring.len(), 2);
+        assert!(
+            ring[0].get("recovery_retries").is_some() && ring[0].get("recovery_us").is_some(),
+            "ring entries carry the recovery split"
+        );
         let recent = parsed
             .get("recent_events")
             .and_then(|r| r.as_array())

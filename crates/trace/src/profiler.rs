@@ -35,12 +35,16 @@ pub enum Phase {
     SnapshotCodec,
     /// Trace recording and quantum bookkeeping overhead.
     TraceOverhead,
+    /// Transport-fault recovery: retries, reconnects, and resync
+    /// handshakes absorbed by the synchronizer's recovery policy (carved
+    /// out of the RTL grant it interrupted).
+    Recovery,
     /// Anything not covered by a dedicated phase.
     Other,
 }
 
 /// Number of phases (array backing size).
-const PHASES: usize = 6;
+const PHASES: usize = 7;
 
 impl Phase {
     /// Every phase, in display order.
@@ -50,6 +54,7 @@ impl Phase {
         Phase::Transport,
         Phase::SnapshotCodec,
         Phase::TraceOverhead,
+        Phase::Recovery,
         Phase::Other,
     ];
 
@@ -61,6 +66,7 @@ impl Phase {
             Phase::Transport => "transport",
             Phase::SnapshotCodec => "snapshot-codec",
             Phase::TraceOverhead => "trace-overhead",
+            Phase::Recovery => "recovery",
             Phase::Other => "other",
         }
     }
@@ -72,7 +78,8 @@ impl Phase {
             Phase::Transport => 2,
             Phase::SnapshotCodec => 3,
             Phase::TraceOverhead => 4,
-            Phase::Other => 5,
+            Phase::Recovery => 5,
+            Phase::Other => 6,
         }
     }
 }

@@ -11,10 +11,14 @@ use rose_sim_core::pid::{Pid, PidConfig};
 use rose_socsim::mem::{Cache, CacheConfig};
 
 proptest! {
-    /// Any data payload survives a packet encode/decode roundtrip.
+    /// Any data payload survives a packet encode/decode roundtrip, for
+    /// any sequence number.
     #[test]
-    fn packet_data_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..8192)) {
-        let pkt = Packet::Data(payload);
+    fn packet_data_roundtrip(
+        seq in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..8192),
+    ) {
+        let pkt = Packet::Data { seq, payload };
         let mut buf = BytesMut::from(&pkt.to_bytes()[..]);
         prop_assert_eq!(Packet::decode(&mut buf).unwrap(), pkt);
         prop_assert!(buf.is_empty());
