@@ -122,6 +122,52 @@ fn bench_physics(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cost_model(c: &mut Criterion) {
+    use rose_socsim::SharedTimingCache;
+
+    let mut group = c.benchmark_group("cost_model");
+    // Cold kernel expansion: what every mission paid per unique kernel
+    // before the timing cache, and what a cache miss still costs.
+    group.bench_function("kernel_expansion_cold", |b| {
+        let kernel = Kernel::MatMul { m: 24, k: 24, n: 24 };
+        b.iter(|| {
+            let mut cpu = CpuModel::new(CpuConfig::boom());
+            let mut m = MemSystem::new(MemConfig::default());
+            black_box(cpu.run_trace(&kernel.trace(), &mut m))
+        })
+    });
+    // Closed-form Gemmini timing: the per-layer cost of a cached-miss
+    // accelerator op (no instruction stream, pure arithmetic).
+    group.bench_function("gemmini_closed_form", |b| {
+        b.iter(|| {
+            let mut g = GemminiModel::new(GemminiConfig::default());
+            let mut m = MemSystem::new(MemConfig::default());
+            black_box(g.matmul(192, 192, 192, &mut m))
+        })
+    });
+    // Disk round trip: what a warm sweep pays once at startup to skip
+    // every cold expansion above.
+    group.bench_function("timing_cache_load", |b| {
+        let path = std::env::temp_dir().join(format!(
+            "rose-micro-timing-cache-{}.snap",
+            std::process::id()
+        ));
+        let cache = SharedTimingCache::load(&path);
+        let fp = 0xfeed_beef_u64;
+        for m in 0..64usize {
+            cache.insert_matmul(fp, m, 24, 24, rose_socsim::timing_cache::AccelEntry {
+                run: Default::default(),
+                bus_bytes: 4096,
+                cycles_delta: 1000,
+            });
+        }
+        cache.persist().expect("bench cache persists");
+        b.iter(|| black_box(SharedTimingCache::load(&path).len()));
+        let _ = std::fs::remove_file(&path);
+    });
+    group.finish();
+}
+
 fn bench_dnn(c: &mut Criterion) {
     let mut group = c.benchmark_group("dnn");
     group.bench_function("perception_classify", |b| {
@@ -143,6 +189,7 @@ criterion_group!(
     bench_cpu_model,
     bench_packets,
     bench_physics,
+    bench_cost_model,
     bench_dnn
 );
 criterion_main!(benches);

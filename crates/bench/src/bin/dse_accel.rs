@@ -11,7 +11,7 @@
 
 use rose::app::ControllerChoice;
 use rose::mission::{run_mission, MissionConfig};
-use rose_bench::{default_jobs, parallel_map, write_csv, TextTable};
+use rose_bench::{default_jobs, parallel_map, with_timing_cache, write_csv, TextTable};
 use rose_dnn::lower::time_inference;
 use rose_dnn::DnnModel;
 use rose_envsim::WorldKind;
@@ -41,14 +41,17 @@ fn main() {
             .with_mesh(mesh)
             .with_scratchpad(spad_kib * 1024);
         let inference_ms = time_inference(&soc, model) as f64 / 1e6;
-        let mission = MissionConfig {
+        // Each design point has its own cache fingerprint (the Gemmini
+        // parameters are part of it), so entries never leak across points;
+        // repeated sweeps of the same grid start fully warm.
+        let mission = with_timing_cache(MissionConfig {
             soc,
             world: WorldKind::SShape,
             velocity: 9.0,
             controller: ControllerChoice::Static(model),
             max_sim_seconds: 60.0,
             ..MissionConfig::default()
-        };
+        });
         (mesh, spad_kib, inference_ms, run_mission(&mission))
     });
     for (mesh, spad_kib, inference_ms, r) in results {
@@ -75,4 +78,5 @@ fn main() {
     if let Some(p) = write_csv("dse_accel.csv", &csv) {
         println!("wrote {}", p.display());
     }
+    rose_bench::persist_timing_cache();
 }

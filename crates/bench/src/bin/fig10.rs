@@ -19,4 +19,5 @@ fn main() {
             );
         }
     }
+    rose_bench::persist_timing_cache();
 }

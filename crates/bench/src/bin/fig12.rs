@@ -14,4 +14,5 @@ fn main() {
     if let Some(p) = write_csv("fig12_trajectories.csv", &trajectories_csv(&runs)) {
         println!("wrote {}", p.display());
     }
+    rose_bench::persist_timing_cache();
 }

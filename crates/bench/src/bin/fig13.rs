@@ -19,4 +19,5 @@ fn main() {
     if let Some(p) = write_csv("fig13.csv", &csv) {
         println!("wrote {}", p.display());
     }
+    rose_bench::persist_timing_cache();
 }

@@ -20,4 +20,5 @@ fn main() {
     if let Some(p) = write_csv("fig14.csv", &csv) {
         println!("wrote {}", p.display());
     }
+    rose_bench::persist_timing_cache();
 }

@@ -44,4 +44,5 @@ fn main() {
     if let Some(p) = write_csv("fig15.csv", &csv) {
         println!("wrote {}", p.display());
     }
+    rose_bench::persist_timing_cache();
 }

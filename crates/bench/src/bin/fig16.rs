@@ -42,4 +42,5 @@ fn main() {
     if let Some(p) = write_csv("fig16_trajectories.csv", &traj) {
         println!("wrote {}", p.display());
     }
+    rose_bench::persist_timing_cache();
 }

@@ -3,7 +3,7 @@
 //! the baseline against which microarchitectural exploration is compared.
 
 use rose::mission::{run_mission, MissionConfig};
-use rose_bench::{default_jobs, parallel_map, write_csv, TextTable};
+use rose_bench::{default_jobs, parallel_map, with_timing_cache, write_csv, TextTable};
 use rose_dnn::lower::time_inference;
 use rose_dnn::DnnModel;
 use rose_sim_core::cycles::ClockSpec;
@@ -25,13 +25,16 @@ fn main() {
         soc.name = format!("A@{mhz}MHz");
         let inference_ms =
             time_inference(&soc, DnnModel::ResNet14) as f64 / soc.clock.hz() as f64 * 1e3;
-        let mission = MissionConfig {
+        // The cache fingerprint deliberately excludes the clock (kernel
+        // expansion is entirely cycle-domain), so all four sweep points
+        // replay one shared set of entries.
+        let mission = with_timing_cache(MissionConfig {
             soc,
             world: rose_envsim::WorldKind::SShape,
             velocity: 9.0,
             max_sim_seconds: 60.0,
             ..MissionConfig::default()
-        };
+        });
         (mhz, inference_ms, run_mission(&mission))
     });
     for (mhz, inference_ms, r) in results {
@@ -56,4 +59,5 @@ fn main() {
     if let Some(p) = write_csv("freq_sweep.csv", &csv) {
         println!("wrote {}", p.display());
     }
+    rose_bench::persist_timing_cache();
 }

@@ -18,6 +18,7 @@ fn main() {
         println!("\n################ {name} ################");
         f();
     }
+    rose_bench::persist_timing_cache();
 }
 
 fn run_table2() {

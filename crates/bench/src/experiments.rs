@@ -8,6 +8,7 @@
 
 use crate::parallel::{default_jobs, parallel_map};
 use crate::report::TextTable;
+use crate::timing::with_timing_cache;
 use rose::app::ControllerChoice;
 use rose::mission::{
     build_mission, finish_report, mission_parts, run_mission, MissionConfig, MissionReport,
@@ -108,11 +109,11 @@ pub fn fig10() -> Vec<LabeledRun> {
         SocConfig::config_c(),
     ];
     let boots = parallel_map(configs, default_jobs(), |config| {
-        let mission = MissionConfig {
+        let mission = with_timing_cache(MissionConfig {
             soc: config.clone(),
             max_sim_seconds: 45.0,
             ..MissionConfig::default()
-        };
+        });
         let mut boot = Mission::start(&mission);
         boot.run_syncs(FIG10_BOOT_SYNCS);
         (config, boot.snapshot())
@@ -142,10 +143,13 @@ pub fn fig10() -> Vec<LabeledRun> {
 }
 
 /// Runs labeled mission configs on the sweep worker pool, keeping order.
+/// Every point runs against the process-wide timing cache: sweeps revisit
+/// the same kernels and accelerator shapes constantly, which is exactly
+/// the reuse the cache converts into replays.
 fn run_labeled(scenarios: Vec<(String, MissionConfig)>) -> Vec<LabeledRun> {
     parallel_map(scenarios, default_jobs(), |(label, mission)| LabeledRun {
         label,
-        report: run_mission(&mission),
+        report: run_mission(&with_timing_cache(mission)),
     })
 }
 
@@ -153,13 +157,13 @@ fn run_labeled(scenarios: Vec<(String, MissionConfig)>) -> Vec<LabeledRun> {
 pub fn fig11() -> Vec<(DnnModel, MissionReport)> {
     let scenarios: Vec<DnnModel> = DnnModel::all().to_vec();
     parallel_map(scenarios, default_jobs(), |model| {
-        let mission = MissionConfig {
+        let mission = with_timing_cache(MissionConfig {
             world: WorldKind::SShape,
             velocity: 9.0,
             controller: ControllerChoice::Static(model),
             max_sim_seconds: 60.0,
             ..MissionConfig::default()
-        };
+        });
         (model, run_mission(&mission))
     })
 }
@@ -167,12 +171,12 @@ pub fn fig11() -> Vec<(DnnModel, MissionReport)> {
 /// Figure 12: velocity-target sweep (6/9/12 m/s), ResNet14 on A, `s-shape`.
 pub fn fig12() -> Vec<(f64, MissionReport)> {
     parallel_map(vec![6.0, 9.0, 12.0], default_jobs(), |velocity| {
-        let mission = MissionConfig {
+        let mission = with_timing_cache(MissionConfig {
             world: WorldKind::SShape,
             velocity,
             max_sim_seconds: 60.0,
             ..MissionConfig::default()
-        };
+        });
         (velocity, run_mission(&mission))
     })
 }
@@ -256,12 +260,12 @@ pub fn fig15(sim_seconds_per_point: f64) -> Vec<Fig15Point> {
     [1u64, 2, 4, 10, 20, 40]
         .iter()
         .map(|&frames_per_sync| {
-            let mission = MissionConfig {
+            let mission = with_timing_cache(MissionConfig {
                 frame_hz: 100,
                 frames_per_sync,
                 max_sim_seconds: sim_seconds_per_point,
                 ..MissionConfig::default()
-            };
+            });
             let (env, mut rtl, sync_config, _metrics) = mission_parts(&mission);
 
             // Serve the SoC behind TCP, as FireSim is in the paper.
@@ -319,7 +323,7 @@ pub fn fig16() -> Vec<Fig16Run> {
             ..MissionConfig::default()
         };
         let ratio = SyncRatio::new(mission.soc.clock, FrameSpec::from_hz(mission.frame_hz));
-        let report = run_mission(&mission);
+        let report = run_mission(&with_timing_cache(mission));
         Fig16Run {
             frames_per_sync,
             cycles_per_sync: ratio.cycles_for_frames(frames_per_sync),

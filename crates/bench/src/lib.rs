@@ -12,7 +12,9 @@
 pub mod experiments;
 pub mod parallel;
 pub mod report;
+pub mod timing;
 
 pub use experiments::*;
 pub use parallel::{default_jobs, parallel_map};
 pub use report::{write_csv, TextTable};
+pub use timing::{persist_timing_cache, shared_timing_cache, with_timing_cache};

@@ -79,6 +79,15 @@ pub trait RtlSide {
     fn take_recovery_wall(&mut self) -> Duration {
         Duration::ZERO
     }
+
+    /// Drains the wall time the endpoint spent evaluating timing models
+    /// during the grants since the last call (kernel expansion,
+    /// closed-form accelerator costing, timing-cache lookups). The
+    /// synchronizer attributes it to [`Phase::CostModel`], carved out of
+    /// the grant that triggered it. Default: no cost-model work.
+    fn take_cost_model_wall(&mut self) -> Duration {
+        Duration::ZERO
+    }
 }
 
 /// Bounded-retry recovery configuration for [`RemoteRtl`].
@@ -601,12 +610,18 @@ impl<E: EnvSide, R: RtlSide> Synchronizer<E, R> {
         self.stats.env_wall += env_done - rtl_done;
         self.stats.quantum_wall += env_done - quantum_started;
         let recovery = self.rtl.take_recovery_wall();
+        let cost_model = self.rtl.take_cost_model_wall();
         self.profiler.add(
             Phase::RtlGrant,
-            (rtl_done - quantum_started).saturating_sub(recovery),
+            (rtl_done - quantum_started)
+                .saturating_sub(recovery)
+                .saturating_sub(cost_model),
         );
         if !recovery.is_zero() {
             self.profiler.add(Phase::Recovery, recovery);
+        }
+        if !cost_model.is_zero() {
+            self.profiler.add(Phase::CostModel, cost_model);
         }
         self.profiler.add(Phase::EnvStep, env_done - rtl_done);
         self.observe_quantum(rtl_done - quantum_started, env_done - quantum_started);
@@ -682,10 +697,16 @@ impl<E: EnvSide, R: RtlSide + Send> Synchronizer<E, R> {
         self.stats.rtl_wall += rtl_wall;
         self.stats.quantum_wall += quantum_wall;
         let recovery = self.rtl.take_recovery_wall();
-        self.profiler
-            .add(Phase::RtlGrant, rtl_wall.saturating_sub(recovery));
+        let cost_model = self.rtl.take_cost_model_wall();
+        self.profiler.add(
+            Phase::RtlGrant,
+            rtl_wall.saturating_sub(recovery).saturating_sub(cost_model),
+        );
         if !recovery.is_zero() {
             self.profiler.add(Phase::Recovery, recovery);
+        }
+        if !cost_model.is_zero() {
+            self.profiler.add(Phase::CostModel, cost_model);
         }
         self.profiler.add(Phase::EnvStep, env_wall);
         self.observe_quantum(rtl_wall, quantum_wall);
@@ -1168,7 +1189,21 @@ impl<T: Transport> RtlSide for RemoteRtl<T> {
 /// including [`TransportError::Protocol`] when the client sends a packet
 /// the server role does not accept (the server must never panic on peer
 /// input — it is the long-lived process next to the RTL simulation).
+/// A [`TransportError::Disconnected`] is an orderly end of session no
+/// matter which half of the exchange observes it first: a `recv` after
+/// the client is gone, or a `send` racing the synchronizer's wind-down
+/// drop after a latched fault.
 pub fn serve_rtl<T: Transport, R: RtlSide>(
+    transport: &mut T,
+    rtl: &mut R,
+) -> Result<(), TransportError> {
+    match serve_rtl_inner(transport, rtl) {
+        Err(TransportError::Disconnected) => Ok(()),
+        other => other,
+    }
+}
+
+fn serve_rtl_inner<T: Transport, R: RtlSide>(
     transport: &mut T,
     rtl: &mut R,
 ) -> Result<(), TransportError> {

@@ -221,6 +221,50 @@ mod tests {
     }
 
     #[test]
+    fn timing_cache_is_digest_invisible_in_both_sync_modes() {
+        // The §4i contract end to end: a cold mission, a recording
+        // mission (cold expansion + disk writes), and a fully warm replay
+        // from a reloaded cache file must digest bit-identically — under
+        // both intra-period execution modes.
+        use rose_bridge::sync::SyncMode;
+        use rose_socsim::SharedTimingCache;
+
+        let path = std::env::temp_dir().join(format!(
+            "rose-audit-timing-cache-{}.snap",
+            std::process::id()
+        ));
+        for mode in [SyncMode::Sequential, SyncMode::Parallel] {
+            let _ = std::fs::remove_file(&path);
+            let base = short(MissionConfig {
+                sync_mode: mode,
+                ..MissionConfig::default()
+            });
+            let cold = MissionDigest::of(&run_mission(&base));
+
+            let recording = SharedTimingCache::load(&path);
+            let populated = MissionDigest::of(&run_mission(&MissionConfig {
+                timing_cache: Some(recording.clone()),
+                ..base.clone()
+            }));
+            assert!(!recording.is_empty(), "cold run should record entries");
+            recording.persist().expect("cache file writes");
+
+            let reloaded = SharedTimingCache::load(&path);
+            assert_eq!(reloaded.len(), recording.len());
+            let warm = MissionDigest::of(&run_mission(&MissionConfig {
+                timing_cache: Some(reloaded.clone()),
+                ..base
+            }));
+            let (hits, _) = reloaded.counters();
+            assert!(hits > 0, "warm run should replay cached entries");
+
+            assert_eq!(cold, populated, "recording must not perturb ({mode:?})");
+            assert_eq!(cold, warm, "replay must not perturb ({mode:?})");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn diverged_surfaces_name_the_difference() {
         let config = short(MissionConfig::default());
         let a = MissionDigest::of(&run_mission(&config));

@@ -87,6 +87,11 @@ pub struct MissionConfig {
     /// missed deadline) after which the application requests a clean
     /// mission abort. 0 (the default) never aborts.
     pub degraded_abort_streak: u64,
+    /// Optional shared timing cache (DESIGN.md §4i): the SoC replays
+    /// previously expanded kernel and accelerator costs instead of
+    /// re-deriving them, with bit-identical mission digests. `None` (the
+    /// default) runs every mission cold.
+    pub timing_cache: Option<rose_socsim::SharedTimingCache>,
 }
 
 impl Default for MissionConfig {
@@ -109,6 +114,7 @@ impl Default for MissionConfig {
             imu_bias_steps: Vec::new(),
             recovery: RecoveryPolicy::default(),
             degraded_abort_streak: 0,
+            timing_cache: None,
         }
     }
 }
@@ -142,6 +148,10 @@ impl MissionConfig {
             imu_bias_steps,
             recovery,
             degraded_abort_streak,
+            // Structural, host-local attachment: a resumed mission decides
+            // its own cache (like the recovery policy's re-arming), and the
+            // digest contract makes the choice unobservable anyway.
+            timing_cache: _,
         } = self;
         soc.save_state(w);
         controller.save_state(w);
@@ -241,6 +251,7 @@ impl MissionConfig {
             imu_bias_steps,
             recovery,
             degraded_abort_streak: r.u64()?,
+            timing_cache: None,
         })
     }
 
@@ -504,6 +515,9 @@ pub fn mission_parts_with_program(
     soc.set_rx_timeout_quanta(RX_TIMEOUT_QUANTA);
     if config.trace {
         soc.set_tracer(Tracer::enabled(config.trace_clock()));
+    }
+    if let Some(cache) = &config.timing_cache {
+        soc.set_timing_cache(cache.clone());
     }
     let rtl = SocRtl::new(soc);
 

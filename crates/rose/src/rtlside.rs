@@ -74,6 +74,10 @@ impl RtlSide for SocRtl {
     fn halted(&self) -> bool {
         self.soc.halted()
     }
+
+    fn take_cost_model_wall(&mut self) -> std::time::Duration {
+        self.soc.take_cost_model_wall()
+    }
 }
 
 #[cfg(test)]

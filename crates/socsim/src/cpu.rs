@@ -156,6 +156,24 @@ impl CpuModel {
         self.stats.instrs += instrs;
     }
 
+    /// The branch-predictor RNG position (part of the persisted timing
+    /// cache's expansion-context key).
+    pub fn branch_rng(&self) -> u64 {
+        self.branch_rng
+    }
+
+    /// Replays a kernel expansion recorded in the persisted timing cache:
+    /// re-applies the cold run's counter deltas and fast-forwards the
+    /// branch RNG to where that run left it. Expansion is a pure function
+    /// of (kernel, memory state, RNG position, core config) — all covered
+    /// by the cache key — so this is bit-identical to re-running it.
+    pub fn replay_expansion(&mut self, cycles: u64, instrs: u64, mispredicts: u64, post_rng: u64) {
+        self.stats.cycles += cycles;
+        self.stats.instrs += instrs;
+        self.stats.mispredicts += mispredicts;
+        self.branch_rng = post_rng;
+    }
+
     /// Serializes the core's dynamic state: execution counters and the
     /// branch-predictor noise stream. The configuration is structural.
     pub fn save_state(&self, w: &mut SnapWriter) {
@@ -194,10 +212,31 @@ impl CpuModel {
     }
 
     /// Executes a trace against `mem`, returning the (scaled) cycle cost.
+    ///
+    /// Memory accesses depend only on each instruction's `(addr, write)`
+    /// pair — never on pipeline state — and occur in program order, so they
+    /// are pre-costed as one stream through [`MemSystem::cost_stream`]
+    /// (which batches periodic loop bodies in closed form) and the pipeline
+    /// pass below consumes the resulting latencies. Bit-identical to
+    /// interleaving the accesses with the pipeline walk.
     pub fn run_trace(&mut self, trace: &KernelTrace, mem: &mut MemSystem) -> u64 {
         if trace.instrs.is_empty() {
             return 0;
         }
+        let refs: Vec<(u64, bool)> = trace
+            .instrs
+            .iter()
+            .filter_map(|instr| match instr.class {
+                // rose-lint: allow(PANIC002, the trace generator sets addr on every Load/Store)
+                InstrClass::Load => Some((instr.addr.expect("load without address"), false)),
+                // rose-lint: allow(PANIC002, the trace generator sets addr on every Load/Store)
+                InstrClass::Store => Some((instr.addr.expect("store without address"), true)),
+                _ => None,
+            })
+            .collect();
+        let mut mem_lats = Vec::new();
+        mem.cost_stream(&refs, &mut mem_lats);
+        let mut mem_lats = mem_lats.into_iter();
         let cfg = self.config;
         let window = cfg.window.clamp(1, 512);
         // Completion times of the most recent `window` instructions.
@@ -265,19 +304,17 @@ impl CpuModel {
                 ports[idx] = start + 1;
             }
 
-            // Execution latency.
+            // Execution latency (memory latencies were pre-costed above).
             let latency = match instr.class {
                 InstrClass::Load => {
-                    // rose-lint: allow(PANIC002, the trace generator sets addr on every Load)
-                    let addr = instr.addr.expect("load without address");
-                    mem.access(addr, false)
+                    // rose-lint: allow(PANIC002, one pre-costed latency exists per Load/Store)
+                    mem_lats.next().expect("pre-costed load latency")
                 }
                 InstrClass::Store => {
-                    // Stores retire through a store buffer: account the
-                    // cache state change but do not stall the pipeline.
-                    // rose-lint: allow(PANIC002, the trace generator sets addr on every Store)
-                    let addr = instr.addr.expect("store without address");
-                    mem.access(addr, true);
+                    // Stores retire through a store buffer: the cache state
+                    // change is accounted but does not stall the pipeline.
+                    // rose-lint: allow(PANIC002, one pre-costed latency exists per Load/Store)
+                    mem_lats.next().expect("pre-costed store latency");
                     1
                 }
                 c => cfg.latency_of(c),

@@ -340,6 +340,7 @@ pub struct KernelTrace {
 impl KernelTrace {
     /// Estimated dynamic instruction count of the full kernel.
     pub fn total_instrs(&self) -> u64 {
+        // rose-lint: allow(CAST001, sampled instruction counts are bounded by SAMPLE_BUDGET * scale << 2^53; round-to-u64 is the sampling contract)
         (self.instrs.len() as f64 * self.scale).round() as u64
     }
 }
@@ -351,6 +352,7 @@ impl Kernel {
     /// Total f32 multiply-accumulate count, when meaningful.
     pub fn macs(&self) -> u64 {
         match *self {
+            // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
             Kernel::MatMul { m, k, n } => (m * k * n) as u64,
             _ => 0,
         }
@@ -373,16 +375,21 @@ impl Kernel {
                 // Per inner element: load B, load C, fma, store C, 2 addr
                 // ops, branch ≈ 7 instrs.
                 let per_iter = 7;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let total_iters = (m * k * n) as u64;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let max_iters = (budget / per_iter) as u64;
                 let iters = total_iters.min(max_iters);
                 let mut count = 0u64;
                 'outer: for i in 0..m {
                     for kk in 0..k {
                         // load A[i][kk] hoisted out of inner loop
+                        // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                         out.push(Instr::load(region::A + ((i * k + kk) * 4) as u64));
                         for j in 0..n {
+                            // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                             let b_addr = region::B + ((kk * n + j) * 4) as u64;
+                            // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                             let c_addr = region::C + ((i * n + j) * 4) as u64;
                             out.push(Instr::load(b_addr));
                             out.push(Instr::load(c_addr));
@@ -406,7 +413,9 @@ impl Kernel {
             } => {
                 // Per output patch element: index math (3 ALU), bounds
                 // check branch, load src, store dst ≈ 7 instrs.
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let total_iters = (channels * ksize * ksize * out_elems) as u64;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let iters = total_iters.min((budget / 7) as u64);
                 for it in 0..iters {
                     out.push(Instr::alu(0));
@@ -435,8 +444,11 @@ impl Kernel {
                     ElemKind::Add => (1, true),
                 };
                 let per_chunk =
+                    // rose-lint: allow(CAST001, UNROLL (4) and u8 op counts widen into usize)
                     (UNROLL as usize) * (2 + fp_ops as usize + extra_load as usize) + 2;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let total_chunks = (n as u64).div_ceil(UNROLL);
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let chunks = total_chunks.min((budget / per_chunk) as u64).max(1);
                 for c in 0..chunks.min(total_chunks) {
                     let base = c * UNROLL;
@@ -450,16 +462,19 @@ impl Kernel {
                     }
                     // First FP pass: each op depends on its own load,
                     // UNROLL (or 2*UNROLL with the extra stream) back.
+                    // rose-lint: allow(CAST001, load distances are at most 2 * UNROLL = 8, far inside u8)
                     let load_dist = if extra_load { 2 * UNROLL } else { UNROLL } as u8;
                     for _ in 0..UNROLL {
                         out.push(Instr::fp(InstrClass::FpAdd, load_dist, 0));
                     }
                     for _ in 1..fp_ops {
                         for _ in 0..UNROLL {
+                            // rose-lint: allow(CAST001, UNROLL is 4, far inside u8)
                             out.push(Instr::fp(InstrClass::FpAdd, UNROLL as u8, 0));
                         }
                     }
                     for u in 0..UNROLL {
+                        // rose-lint: allow(CAST001, UNROLL is 4, far inside u8)
                         out.push(Instr::store(region::C + (base + u) * 4, UNROLL as u8));
                     }
                     out.push(Instr::alu(0));
@@ -469,10 +484,13 @@ impl Kernel {
             }
             Kernel::Pool { out_elems, window } => {
                 let per_iter = window * window * 3 + 3;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let total_iters = out_elems as u64;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let iters = total_iters.min((budget / per_iter).max(1) as u64);
                 for it in 0..iters {
                     for w in 0..(window * window) {
+                        // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                         out.push(Instr::load(region::A + it * 16 + (w * 4) as u64));
                         out.push(Instr::fp(InstrClass::FpAdd, 1, 2)); // max/add
                         out.push(Instr::alu(0));
@@ -485,7 +503,9 @@ impl Kernel {
             }
             Kernel::Softmax { n } => {
                 // Pass 1: exp (long-latency) + sum. Pass 2: divide.
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let total_iters = n as u64;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let iters = total_iters.min((budget / 10) as u64).max(1);
                 for it in 0..iters.min(total_iters) {
                     let a = region::A + it * 4;
@@ -504,7 +524,9 @@ impl Kernel {
             }
             Kernel::Memcpy { bytes } => {
                 // 8-byte word loop: load, store, index, branch.
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let total_iters = (bytes / 8).max(1) as u64;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let iters = total_iters.min((budget / 4) as u64).max(1);
                 for it in 0..iters.min(total_iters) {
                     out.push(Instr::load(region::A + it * 8));
@@ -517,7 +539,9 @@ impl Kernel {
             Kernel::FrameworkNode { tensors } => {
                 // Pointer-chasing over session metadata: dependent loads
                 // scattered across the heap, data-dependent branches.
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let total_iters = (800 + 400 * tensors) as u64;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let iters = total_iters.min((budget / 8) as u64).max(1);
                 let mut ptr = region::HEAP;
                 for it in 0..iters.min(total_iters) {
@@ -539,7 +563,9 @@ impl Kernel {
                 total_iters as f64 / iters.min(total_iters).max(1) as f64
             }
             Kernel::Control { ops } => {
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let total_iters = ops as u64;
+                // rose-lint: allow(CAST001, usize -> u64 widens on every supported target)
                 let iters = total_iters.min((budget / 4) as u64).max(1);
                 for it in 0..iters.min(total_iters) {
                     out.push(Instr::alu(1));

@@ -33,6 +33,9 @@
 //!   simulated SoC by issuing receive/compute/send operations whose costs
 //!   come from the timing models.
 //! * [`soc`] — [`soc::Soc`], the top level tying everything together.
+//! * [`timing_cache`] — the persisted cross-run timing cache that lets a
+//!   sweep expand each kernel once per machine instead of once per
+//!   mission (DESIGN.md §4i).
 
 #![deny(missing_docs)]
 
@@ -46,7 +49,9 @@ pub mod mem;
 pub mod multitenant;
 pub mod program;
 pub mod soc;
+pub mod timing_cache;
 
 pub use config::{CoreKind, SocConfig};
+pub use timing_cache::SharedTimingCache;
 pub use program::{TargetOp, TargetProgram};
 pub use soc::{Soc, SocStats};

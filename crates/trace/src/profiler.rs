@@ -39,12 +39,17 @@ pub enum Phase {
     /// handshakes absorbed by the synchronizer's recovery policy (carved
     /// out of the RTL grant it interrupted).
     Recovery,
+    /// Timing-model evaluation inside the SoC: kernel expansion,
+    /// closed-form accelerator costing, and timing-cache lookups (carved
+    /// out of the RTL grant that triggered it, so `rtl-grant` is left
+    /// measuring pure cycle-loop work).
+    CostModel,
     /// Anything not covered by a dedicated phase.
     Other,
 }
 
 /// Number of phases (array backing size).
-const PHASES: usize = 7;
+const PHASES: usize = 8;
 
 impl Phase {
     /// Every phase, in display order.
@@ -55,6 +60,7 @@ impl Phase {
         Phase::SnapshotCodec,
         Phase::TraceOverhead,
         Phase::Recovery,
+        Phase::CostModel,
         Phase::Other,
     ];
 
@@ -67,6 +73,7 @@ impl Phase {
             Phase::SnapshotCodec => "snapshot-codec",
             Phase::TraceOverhead => "trace-overhead",
             Phase::Recovery => "recovery",
+            Phase::CostModel => "cost-model",
             Phase::Other => "other",
         }
     }
@@ -79,7 +86,8 @@ impl Phase {
             Phase::SnapshotCodec => 3,
             Phase::TraceOverhead => 4,
             Phase::Recovery => 5,
-            Phase::Other => 6,
+            Phase::CostModel => 6,
+            Phase::Other => 7,
         }
     }
 }
